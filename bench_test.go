@@ -1,0 +1,273 @@
+package prefetchsim_test
+
+// One benchmark per table and figure of the paper. Each benchmark runs
+// the corresponding experiment on a reduced 4-processor machine (so the
+// whole suite completes in minutes; the cmd/tables and cmd/figure6
+// tools regenerate the full 16-processor configurations) and reports
+// the experiment's headline numbers as custom metrics:
+//
+//	go test -bench=. -benchmem
+//	go test -bench 'Figure6' -benchtime 1x
+//
+// Micro-benchmarks for the substrate components sit at the end.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"prefetchsim"
+)
+
+const benchProcs = 4
+
+func benchOpts() prefetchsim.ExpOptions {
+	return prefetchsim.ExpOptions{Procs: benchProcs}
+}
+
+// benchTable runs one application's Table 2/3 column and reports the
+// characteristics the paper tabulates.
+func benchTable(b *testing.B, app string, finite bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Apps = []string{app}
+		var rows []prefetchsim.CharRow
+		var err error
+		if finite {
+			rows, err = prefetchsim.Table3(opt)
+		} else {
+			rows, err = prefetchsim.Table2(opt)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		b.ReportMetric(100*r.InStrideFrac, "in-stride-%")
+		b.ReportMetric(r.AvgSeqLen, "avg-seq-len")
+		if len(r.Dominant) > 0 {
+			b.ReportMetric(float64(r.Dominant[0].Stride), "dominant-stride")
+		}
+		if finite {
+			b.ReportMetric(100*r.ReplacementFrac, "repl-miss-%")
+		}
+	}
+}
+
+func BenchmarkTable2_MP3D(b *testing.B)     { benchTable(b, "mp3d", false) }
+func BenchmarkTable2_Cholesky(b *testing.B) { benchTable(b, "cholesky", false) }
+func BenchmarkTable2_Water(b *testing.B)    { benchTable(b, "water", false) }
+func BenchmarkTable2_LU(b *testing.B)       { benchTable(b, "lu", false) }
+func BenchmarkTable2_Ocean(b *testing.B)    { benchTable(b, "ocean", false) }
+func BenchmarkTable2_PTHOR(b *testing.B)    { benchTable(b, "pthor", false) }
+
+func BenchmarkTable3_MP3D(b *testing.B)     { benchTable(b, "mp3d", true) }
+func BenchmarkTable3_Cholesky(b *testing.B) { benchTable(b, "cholesky", true) }
+func BenchmarkTable3_Water(b *testing.B)    { benchTable(b, "water", true) }
+func BenchmarkTable3_LU(b *testing.B)       { benchTable(b, "lu", true) }
+func BenchmarkTable3_Ocean(b *testing.B)    { benchTable(b, "ocean", true) }
+func BenchmarkTable3_PTHOR(b *testing.B)    { benchTable(b, "pthor", true) }
+
+// BenchmarkTable4 regenerates the larger-data-set trend study on the
+// lighter applications (the full five-application version is
+// `cmd/tables -table 4`).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Apps = []string{"mp3d", "water", "ocean"}
+		rows, err := prefetchsim.Table4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*(r.Large.InStrideFrac-r.Small.InStrideFrac),
+				r.App+"-in-stride-delta-%")
+		}
+	}
+}
+
+// benchFigure6 runs one application's Figure 6 column (baseline + the
+// three schemes) and reports all three panels per scheme.
+func benchFigure6(b *testing.B, app string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Apps = []string{app}
+		rows, err := prefetchsim.Figure6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelMisses, fmt.Sprintf("%s-misses-%%", r.Scheme))
+			b.ReportMetric(100*r.Efficiency, fmt.Sprintf("%s-efficiency-%%", r.Scheme))
+			b.ReportMetric(100*r.RelStall, fmt.Sprintf("%s-stall-%%", r.Scheme))
+		}
+	}
+}
+
+func BenchmarkFigure6_MP3D(b *testing.B)     { benchFigure6(b, "mp3d") }
+func BenchmarkFigure6_Cholesky(b *testing.B) { benchFigure6(b, "cholesky") }
+func BenchmarkFigure6_Water(b *testing.B)    { benchFigure6(b, "water") }
+func BenchmarkFigure6_LU(b *testing.B)       { benchFigure6(b, "lu") }
+func BenchmarkFigure6_Ocean(b *testing.B)    { benchFigure6(b, "ocean") }
+func BenchmarkFigure6_PTHOR(b *testing.B)    { benchFigure6(b, "pthor") }
+
+// BenchmarkAblationDegree sweeps the degree of prefetching (the §6
+// observation: with this prefetching phase, d makes little difference).
+func BenchmarkAblationDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := prefetchsim.DegreeSweep("water", prefetchsim.Seq,
+			[]int{1, 2, 4, 8}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelMisses, string(r.Scheme)+"-misses-%")
+		}
+	}
+}
+
+// BenchmarkAblationAdaptive compares fixed and adaptive sequential
+// prefetching on Ocean, where fixed sequential wastes the most
+// bandwidth (the §6 discussion of Dahlgren et al.'s adaptive scheme).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Apps = []string{"ocean"}
+		rows, err := prefetchsim.Figure6(opt, prefetchsim.Seq, prefetchsim.Adaptive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelTraffic, string(r.Scheme)+"-traffic-%")
+			b.ReportMetric(100*r.RelMisses, string(r.Scheme)+"-misses-%")
+		}
+	}
+}
+
+// BenchmarkAblationSLCSize extends §5.3: I-detection across SLC sizes.
+func BenchmarkAblationSLCSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := prefetchsim.SLCSweep("ocean", prefetchsim.IDet,
+			[]int{8192, 16384, 65536}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelMisses, string(r.Scheme)+"-misses-%")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// memory references per second on a stride-heavy custom workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const refs = 200_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		space := prefetchsim.NewSpace()
+		arr := prefetchsim.NewArray(space, refs/benchProcs, 64, 64)
+		prog := prefetchsim.NewProgram("throughput", benchProcs,
+			func(p int, g *prefetchsim.Gen) {
+				for r := 0; r < refs/benchProcs; r++ {
+					g.Read(prefetchsim.PC(1), arr.Elem(r), 2)
+				}
+			})
+		res, err := prefetchsim.Run(prefetchsim.Config{
+			Program: prog, Processors: benchProcs, Scheme: prefetchsim.Seq,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.TotalReads() != refs/benchProcs*benchProcs {
+			b.Fatal("lost references")
+		}
+	}
+	b.ReportMetric(float64(refs*b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkAblationLookahead compares the paper's fixed-degree schemes
+// with the §6 lookahead variants (Baer–Chen's lookahead-PC, Hagersten's
+// adaptive distance) and the hybrid software-assisted scheme on LU,
+// whose tight inner loop makes d=1 prefetches chronically late.
+func BenchmarkAblationLookahead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := prefetchsim.ExtensionCompare("lu", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelStall, string(r.Scheme)+"-stall-%")
+		}
+	}
+}
+
+// BenchmarkAblationConsistency quantifies the release-consistency
+// assumption: how much slower the write-heavy applications run when
+// writes block (sequential consistency).
+func BenchmarkAblationConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Apps = []string{"mp3d", "ocean"}
+		rows, err := prefetchsim.ConsistencyCompare(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelExecTime, r.App+"-SC-exec-%")
+		}
+	}
+}
+
+// BenchmarkAblationBandwidth tests the paper's §7 closing claim:
+// sequential prefetching's advantage erodes when the memory-system
+// bandwidth is limited, because of its useless prefetches.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := prefetchsim.BandwidthSweep("mp3d", []int{1, 2, 4}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.SeqRelStall, fmt.Sprintf("bw%d-Seq-stall-%%", r.Factor))
+			b.ReportMetric(100*r.StrideRelStall, fmt.Sprintf("bw%d-Idet-stall-%%", r.Factor))
+		}
+	}
+}
+
+// BenchmarkAblationAssociativity extends §5.3 with SLC associativity.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := prefetchsim.AssocSweep("mp3d", []int{1, 2, 4}, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.RelMissesVsDM, fmt.Sprintf("%dway-misses-%%", r.Ways))
+		}
+	}
+}
+
+// BenchmarkTraceRecordReplay measures trace-file serialization
+// throughput (ops recorded+replayed per second).
+func BenchmarkTraceRecordReplay(b *testing.B) {
+	b.ReportAllocs()
+	var bytesPerOp float64
+	for i := 0; i < b.N; i++ {
+		prog, err := prefetchsim.BuildApp("matmul", prefetchsim.Params{Procs: benchProcs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := prefetchsim.WriteProgram(&buf, prog); err != nil {
+			b.Fatal(err)
+		}
+		bytesPerOp = float64(buf.Len()) // before ReadProgram drains the buffer
+		replayed, err := prefetchsim.ReadProgram(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayed.Stop()
+	}
+	b.ReportMetric(bytesPerOp, "trace-bytes")
+}

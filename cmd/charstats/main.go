@@ -1,0 +1,75 @@
+// Command charstats prints the detailed stride-sequence analysis of
+// one application's SLC read-miss stream (the methodology behind the
+// paper's Tables 2 and 3), including the full stride distribution.
+//
+// Usage:
+//
+//	charstats -app water
+//	charstats -app ocean -slc 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefetchsim"
+)
+
+func main() {
+	app := flag.String("app", "lu", "application: "+strings.Join(prefetchsim.Apps(), ", "))
+	procs := flag.Int("procs", 16, "processor count")
+	slc := flag.Int("slc", 0, "SLC size in bytes (0 = infinite)")
+	scale := flag.Int("scale", 1, "data-set scale")
+	seed := flag.Uint64("seed", 0, "workload seed")
+	repr := flag.Bool("representativeness", false, "compare the Table 2 metrics across all processors (§5.1 check)")
+	flag.Parse()
+
+	if *repr {
+		row, err := prefetchsim.Representativeness(*app, prefetchsim.ExpOptions{
+			Procs: *procs, Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charstats:", err)
+			os.Exit(1)
+		}
+		fmt.Println(row)
+		return
+	}
+
+	res, err := prefetchsim.Run(prefetchsim.Config{
+		App: *app, Scheme: prefetchsim.Baseline, Processors: *procs,
+		SLCBytes: *slc, Scale: *scale, Seed: *seed,
+		CollectCharacteristics: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charstats:", err)
+		os.Exit(1)
+	}
+
+	c := res.Chars
+	fmt.Printf("%s: processor-0 read-miss characteristics\n", res.App)
+	fmt.Printf("  total read misses:            %d\n", c.TotalMisses)
+	fmt.Printf("  within stride sequences:      %.1f%%\n", 100*c.FracInSequences())
+	fmt.Printf("  stride sequences:             %d\n", c.Sequences)
+	fmt.Printf("  average sequence length:      %.1f references\n", c.AvgSeqLen())
+	fmt.Println("  stride distribution (blocks, share of stride-sequence misses):")
+	for i, s := range c.Strides() {
+		if i == 10 || s.Share < 0.01 {
+			break
+		}
+		fmt.Printf("    %6d  %5.1f%%\n", s.Stride, 100*s.Share)
+	}
+	fmt.Println("  top load sites (PC, misses, in-stride, dominant stride):")
+	for i, site := range res.Sites {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("    pc=%-5d %7d misses  %5.1f%% in-stride  stride %d\n",
+			site.PC, site.Misses,
+			100*float64(site.StrideMisses)/float64(site.Misses), site.Dominant)
+	}
+	fmt.Println()
+	fmt.Print(res.Stats)
+}

@@ -1,0 +1,146 @@
+// Command figure6 regenerates the paper's Figure 6 — read misses,
+// prefetch efficiency and read stall time of I-detection, D-detection
+// and sequential prefetching relative to the baseline — plus the
+// ablations discussed in §5.4 and §6.
+//
+// Usage:
+//
+//	figure6                      # the three Figure 6 panels, all apps
+//	figure6 -finite              # same under the 16 KB SLC of §5.3
+//	figure6 -adaptive            # include adaptive sequential prefetching
+//	figure6 -degrees 1,2,4,8 -app lu -scheme Seq
+//	figure6 -slcsweep 8192,16384,65536 -app ocean -scheme I-det
+//	figure6 -extensions -app lu
+//	figure6 -consistency mp3d ocean
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prefetchsim"
+)
+
+func main() {
+	procs := flag.Int("procs", 16, "processor count")
+	scale := flag.Int("scale", 1, "data-set scale")
+	seed := flag.Uint64("seed", 0, "workload seed")
+	finite := flag.Bool("finite", false, "use the 16 KB SLC of §5.3 instead of an infinite SLC")
+	adaptive := flag.Bool("adaptive", false, "also run adaptive sequential prefetching")
+	app := flag.String("app", "lu", "application for -degrees / -slcsweep")
+	scheme := flag.String("scheme", "Seq", "scheme for -degrees / -slcsweep")
+	degrees := flag.String("degrees", "", "comma-separated degree sweep (ablation)")
+	slcsweep := flag.String("slcsweep", "", "comma-separated SLC byte sizes (ablation)")
+	extensions := flag.Bool("extensions", false, "compare the §6 extension schemes (lookahead, hybrid) on -app")
+	bandwidth := flag.String("bandwidth", "", "comma-separated bandwidth divisors for the §7 limitation study on -app")
+	assoc := flag.String("assoc", "", "comma-separated SLC associativities for the finite-cache ablation on -app")
+	consistency := flag.Bool("consistency", false, "compare release vs sequential consistency")
+	bars := flag.Bool("bars", false, "render the three panels as bar charts, as in the paper")
+	flag.Parse()
+
+	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed}
+	if args := flag.Args(); len(args) > 0 {
+		opt.Apps = args
+	}
+
+	switch {
+	case *bandwidth != "":
+		fs, err := ints(*bandwidth)
+		exitOn(err)
+		fmt.Printf("Bandwidth-limitation study (§7) on %s\n", *app)
+		rows, err := prefetchsim.BandwidthSweep(*app, fs, opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	case *assoc != "":
+		ws, err := ints(*assoc)
+		exitOn(err)
+		fmt.Printf("SLC associativity ablation (16 KB) on %s\n", *app)
+		rows, err := prefetchsim.AssocSweep(*app, ws, opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	case *extensions:
+		fmt.Printf("Extension schemes (§6) on %s\n", *app)
+		rows, err := prefetchsim.ExtensionCompare(*app, opt)
+		exitOn(err)
+		print(rows)
+	case *consistency:
+		fmt.Println("Release vs sequential consistency (the paper assumes RC)")
+		rows, err := prefetchsim.ConsistencyCompare(opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	case *degrees != "":
+		ds, err := ints(*degrees)
+		exitOn(err)
+		fmt.Printf("Degree sweep: %s on %s\n", *scheme, *app)
+		rows, err := prefetchsim.DegreeSweep(*app, prefetchsim.Scheme(*scheme), ds, opt)
+		exitOn(err)
+		print(rows)
+	case *slcsweep != "":
+		ss, err := ints(*slcsweep)
+		exitOn(err)
+		fmt.Printf("SLC-size sweep: %s on %s\n", *scheme, *app)
+		rows, err := prefetchsim.SLCSweep(*app, prefetchsim.Scheme(*scheme), ss, opt)
+		exitOn(err)
+		print(rows)
+	default:
+		schemes := prefetchsim.Schemes()
+		if *adaptive {
+			schemes = append(schemes, prefetchsim.Adaptive)
+		}
+		var rows []prefetchsim.Fig6Row
+		var err error
+		if *finite {
+			fmt.Printf("Figure 6 (finite %d-byte SLC): relative read misses, prefetch efficiency, relative read stall\n",
+				prefetchsim.FiniteSLCBytes)
+			rows, err = prefetchsim.Figure6Finite(opt, schemes...)
+		} else {
+			fmt.Println("Figure 6: relative read misses, prefetch efficiency, relative read stall (infinite SLC, d=1)")
+			rows, err = prefetchsim.Figure6(opt, schemes...)
+		}
+		exitOn(err)
+		if *bars {
+			fmt.Print(prefetchsim.RenderBars(rows))
+		} else {
+			print(rows)
+		}
+	}
+}
+
+func print(rows []prefetchsim.Fig6Row) {
+	prev := ""
+	for _, r := range rows {
+		if r.App != prev && prev != "" {
+			fmt.Println()
+		}
+		prev = r.App
+		fmt.Println(" ", r)
+	}
+}
+
+func ints(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("figure6: bad integer list %q: %v", csv, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figure6:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command prefetchsim runs one simulation of the paper's machine and
+// prints its statistics.
+//
+// Usage:
+//
+//	prefetchsim -app lu -scheme Seq -degree 1
+//	prefetchsim -app ocean -scheme I-det -slc 16384 -chars
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prefetchsim"
+)
+
+func main() {
+	app := flag.String("app", "lu", "application: "+strings.Join(prefetchsim.Apps(), ", "))
+	scheme := flag.String("scheme", "baseline", "prefetching scheme: baseline, I-det, D-det, Seq, Adaptive")
+	degree := flag.Int("degree", 1, "degree of prefetching d")
+	procs := flag.Int("procs", 16, "processor count")
+	slc := flag.Int("slc", 0, "SLC size in bytes (0 = infinite)")
+	scale := flag.Int("scale", 1, "data-set scale (1 = paper inputs)")
+	seed := flag.Uint64("seed", 0, "workload seed")
+	chars := flag.Bool("chars", false, "print the Table 2/3 stride-sequence analysis of processor 0")
+	record := flag.String("record", "", "record the application's reference trace to this file and exit")
+	replay := flag.String("replay", "", "simulate a trace file recorded with -record instead of -app")
+	flag.Parse()
+
+	if *record != "" {
+		prog, err := prefetchsim.BuildApp(*app, prefetchsim.Params{
+			Procs: *procs, Scale: *scale, Seed: *seed,
+		})
+		exitOn(err)
+		f, err := os.Create(*record)
+		exitOn(err)
+		exitOn(prefetchsim.WriteProgram(f, prog))
+		exitOn(f.Close())
+		fmt.Printf("recorded %s (%d processors) to %s\n", *app, *procs, *record)
+		return
+	}
+
+	var program *prefetchsim.Program
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		exitOn(err)
+		program, err = prefetchsim.ReadProgram(f)
+		exitOn(err)
+		exitOn(f.Close())
+	}
+
+	res, err := prefetchsim.Run(prefetchsim.Config{
+		App:                    *app,
+		Program:                program,
+		Scheme:                 prefetchsim.Scheme(*scheme),
+		Degree:                 *degree,
+		Processors:             *procs,
+		SLCBytes:               *slc,
+		Scale:                  *scale,
+		Seed:                   *seed,
+		CollectCharacteristics: *chars,
+	})
+	exitOn(err)
+	fmt.Printf("%s / %s (d=%d, %d processors", res.App, res.Scheme, *degree, *procs)
+	if *slc == 0 {
+		fmt.Printf(", infinite SLC)\n")
+	} else {
+		fmt.Printf(", %d-byte SLC)\n", *slc)
+	}
+	fmt.Print(res.Stats)
+	if res.Chars != nil {
+		fmt.Println("processor-0 characteristics:", res.Chars)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+		os.Exit(1)
+	}
+}

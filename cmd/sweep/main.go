@@ -1,0 +1,135 @@
+// Command sweep runs a factorial sweep over applications, schemes,
+// degrees and cache sizes and emits one CSV row per simulation — the
+// raw-data path for plotting or statistics outside this repository.
+//
+// Usage:
+//
+//	sweep -apps lu,water -schemes baseline,I-det,Seq -o results.csv
+//	sweep -apps mp3d -schemes baseline,Seq -slc 0,16384 -degrees 1,2,4
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"prefetchsim"
+)
+
+var header = []string{
+	"app", "scheme", "degree", "slc_bytes", "slc_ways", "procs", "scale", "bandwidth_factor",
+	"exec_pclocks", "reads", "writes", "read_misses", "delayed_hits",
+	"cold_misses", "coherence_misses", "replacement_misses",
+	"read_stall", "write_stall", "sync_stall",
+	"prefetches_issued", "prefetches_useful", "prefetch_efficiency",
+	"net_messages", "net_flits", "net_flit_hops",
+}
+
+func main() {
+	apps := flag.String("apps", strings.Join(prefetchsim.Apps(), ","), "comma-separated applications")
+	schemes := flag.String("schemes", "baseline,I-det,D-det,Seq", "comma-separated schemes")
+	degrees := flag.String("degrees", "1", "comma-separated prefetch degrees")
+	slcs := flag.String("slc", "0", "comma-separated SLC sizes in bytes (0 = infinite)")
+	ways := flag.Int("ways", 1, "SLC associativity for finite sizes")
+	procs := flag.Int("procs", 16, "processor count")
+	scale := flag.Int("scale", 1, "data-set scale")
+	seed := flag.Uint64("seed", 0, "workload seed")
+	bw := flag.Int("bandwidth", 1, "bandwidth divisor")
+	out := flag.String("o", "", "output CSV file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		exitOn(err)
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	exitOn(cw.Write(header))
+
+	degreeList, err := ints(*degrees)
+	exitOn(err)
+	slcList, err := ints(*slcs)
+	exitOn(err)
+
+	rows := 0
+	for _, app := range strings.Split(*apps, ",") {
+		for _, slc := range slcList {
+			for _, scheme := range strings.Split(*schemes, ",") {
+				ds := degreeList
+				if scheme == "baseline" {
+					ds = []int{1} // degree is meaningless without prefetching
+				}
+				for _, d := range ds {
+					res, err := prefetchsim.Run(prefetchsim.Config{
+						App:        strings.TrimSpace(app),
+						Scheme:     prefetchsim.Scheme(strings.TrimSpace(scheme)),
+						Degree:     d,
+						Processors: *procs, Scale: *scale, Seed: *seed,
+						SLCBytes: slc, SLCWays: *ways, BandwidthFactor: *bw,
+					})
+					exitOn(err)
+					exitOn(cw.Write(record(res, d, slc, *ways, *procs, *scale, *bw)))
+					rows++
+				}
+			}
+		}
+	}
+	cw.Flush()
+	exitOn(cw.Error())
+	if *out != "" {
+		fmt.Printf("wrote %d rows to %s\n", rows, *out)
+	}
+}
+
+func record(res *prefetchsim.Result, degree, slc, ways, procs, scale, bw int) []string {
+	st := res.Stats
+	var writes, delayed, cold, coh, repl, rstall, wstall, sstall, useful int64
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		writes += n.Writes
+		delayed += n.DelayedHits
+		cold += n.ColdMisses
+		coh += n.CoherenceMisses
+		repl += n.ReplacementMisses
+		rstall += int64(n.ReadStall)
+		wstall += int64(n.WriteStall)
+		sstall += int64(n.SyncStall)
+		useful += n.PrefetchesUseful
+	}
+	i := strconv.Itoa
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	return []string{
+		res.App, string(res.Scheme), i(degree), i(slc), i(ways), i(procs), i(scale), i(bw),
+		i64(int64(st.ExecTime)), i64(st.TotalReads()), i64(writes),
+		i64(st.TotalReadMisses()), i64(delayed),
+		i64(cold), i64(coh), i64(repl),
+		i64(rstall), i64(wstall), i64(sstall),
+		i64(st.TotalPrefetchesIssued()), i64(useful),
+		strconv.FormatFloat(st.PrefetchEfficiency(), 'f', 4, 64),
+		i64(st.NetMessages), i64(st.NetFlits), i64(st.NetFlitHops),
+	}
+}
+
+func ints(csvList string) ([]int, error) {
+	var outList []int
+	for _, f := range strings.Split(csvList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad integer list %q: %v", csvList, err)
+		}
+		outList = append(outList, v)
+	}
+	return outList, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// Command tables regenerates the paper's Tables 2, 3 and 4: the
+// application characteristics that predict the relative performance of
+// stride and sequential prefetching.
+//
+// Usage:
+//
+//	tables -table 2            # infinite SLC characteristics
+//	tables -table 3            # finite 16 KB SLC characteristics
+//	tables -table 4            # larger-data-set trends
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefetchsim"
+)
+
+func main() {
+	table := flag.Int("table", 2, "table to regenerate: 2, 3 or 4")
+	procs := flag.Int("procs", 16, "processor count")
+	scale := flag.Int("scale", 1, "data-set scale")
+	seed := flag.Uint64("seed", 0, "workload seed")
+	flag.Parse()
+
+	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed}
+	if args := flag.Args(); len(args) > 0 {
+		opt.Apps = args
+	}
+
+	switch *table {
+	case 2:
+		fmt.Println("Table 2: application characteristics, infinite second-level cache")
+		rows, err := prefetchsim.Table2(opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	case 3:
+		fmt.Printf("Table 3: application characteristics, finite %d-byte direct-mapped SLC\n",
+			prefetchsim.FiniteSLCBytes)
+		rows, err := prefetchsim.Table3(opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	case 4:
+		fmt.Println("Table 4: characteristics trend with larger data sets, infinite SLC")
+		rows, err := prefetchsim.Table4(opt)
+		exitOn(err)
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tables: -table must be 2, 3 or 4")
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

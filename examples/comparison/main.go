@@ -1,0 +1,64 @@
+// Comparison reproduces one column of the paper's Figure 6 end to end:
+// it runs a chosen application under the baseline and all three
+// prefetching schemes (plus the adaptive extension), under both the
+// infinite SLC and the finite 16 KB SLC of §5.3, and prints the three
+// panels — relative read misses, prefetch efficiency and relative read
+// stall time — together with the network traffic the §5.2 discussion
+// highlights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"prefetchsim"
+)
+
+func main() {
+	app := flag.String("app", "ocean", "application: "+strings.Join(prefetchsim.Apps(), ", "))
+	procs := flag.Int("procs", 4, "processor count (16 = paper)")
+	flag.Parse()
+
+	for _, slc := range []int{0, prefetchsim.FiniteSLCBytes} {
+		if slc == 0 {
+			fmt.Printf("=== %s, infinite SLC ===\n", *app)
+		} else {
+			fmt.Printf("\n=== %s, finite %d-byte SLC (§5.3) ===\n", *app, slc)
+		}
+		base, err := prefetchsim.Run(prefetchsim.Config{
+			App: *app, Scheme: prefetchsim.Baseline, Processors: *procs, SLCBytes: slc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline: %d misses, %d pclocks stall, %d flit-hops\n",
+			base.Stats.TotalReadMisses(), base.Stats.TotalReadStall(), base.Stats.NetFlitHops)
+
+		schemes := append(prefetchsim.Schemes(), prefetchsim.Adaptive)
+		for _, scheme := range schemes {
+			res, err := prefetchsim.Run(prefetchsim.Config{
+				App: *app, Scheme: scheme, Degree: 1, Processors: *procs, SLCBytes: slc,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s misses %5.1f%%  efficiency %5.1f%%  stall %5.1f%%  traffic %5.1f%%\n",
+				scheme,
+				pct(res.Stats.TotalReadMisses(), base.Stats.TotalReadMisses()),
+				100*res.Stats.PrefetchEfficiency(),
+				pct(int64(res.Stats.TotalReadStall()), int64(base.Stats.TotalReadStall())),
+				pct(res.Stats.NetFlitHops, base.Stats.NetFlitHops))
+		}
+	}
+	fmt.Println("\nOn Ocean the large (65-block) strides favour the stride detectors;")
+	fmt.Println("sequential prefetching pays for its useless prefetches in traffic.")
+}
+
+func pct(v, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(base)
+}

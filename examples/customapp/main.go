@@ -1,0 +1,95 @@
+// Customapp shows how to plug your own parallel workload into the
+// simulator through the public API: allocate shared structures in a
+// simulated address space, emit each processor's loads, stores, locks
+// and barriers from a generator function, and run the result under any
+// prefetching scheme.
+//
+// The workload here is a producer/consumer pipeline: each processor
+// fills a block-strided ring of records and then consumes its left
+// neighbour's ring — a pattern with a detectable record-size stride and
+// enough sharing to exercise the coherence protocol and locks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetchsim"
+)
+
+const (
+	procs    = 4
+	records  = 512
+	recBytes = 96 // 3 blocks: a detectable stride of 3
+	rounds   = 6
+)
+
+func pipeline() *prefetchsim.Program {
+	space := prefetchsim.NewSpace()
+	rings := make([]prefetchsim.Array, procs)
+	for i := range rings {
+		rings[i] = prefetchsim.NewArray(space, records, recBytes, recBytes)
+	}
+	locks := prefetchsim.NewArray(space, procs, 32, 32)
+
+	const (
+		pcFill    prefetchsim.PC = 1
+		pcConsume prefetchsim.PC = 2
+		pcCheck   prefetchsim.PC = 3
+	)
+
+	return prefetchsim.NewProgram("pipeline", procs, func(p int, g *prefetchsim.Gen) {
+		left := (p + procs - 1) % procs
+		for round := 0; round < rounds; round++ {
+			// Produce: fill my ring (private after the first round).
+			g.Lock(locks.Elem(p))
+			for r := 0; r < records; r++ {
+				g.Write(pcFill, rings[p].At(r, 0), 2)
+				g.Write(pcFill, rings[p].At(r, 8), 2)
+			}
+			g.Unlock(locks.Elem(p))
+			g.Barrier()
+
+			// Consume the left neighbour's ring: reads stride by the
+			// record size (3 blocks), freshly dirtied every round.
+			g.Lock(locks.Elem(left))
+			for r := 0; r < records; r++ {
+				g.Read(pcConsume, rings[left].At(r, 0), 2)
+				g.Read(pcCheck, rings[left].At(r, 8), 4)
+			}
+			g.Unlock(locks.Elem(left))
+			g.Barrier()
+		}
+	})
+}
+
+func main() {
+	base, err := prefetchsim.Run(prefetchsim.Config{
+		Program:                pipeline(),
+		Processors:             procs,
+		CollectCharacteristics: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("custom pipeline workload, baseline:")
+	fmt.Printf("  %d read misses; %.0f%% in stride sequences; dominant stride %d blocks\n",
+		base.Stats.TotalReadMisses(),
+		100*base.Chars.FracInSequences(),
+		base.Chars.Dominant().Stride)
+
+	for _, scheme := range []prefetchsim.Scheme{prefetchsim.Seq, prefetchsim.IDet} {
+		res, err := prefetchsim.Run(prefetchsim.Config{
+			Program:    pipeline(),
+			Processors: procs,
+			Scheme:     scheme,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s: misses %5.1f%% of baseline, read stall %5.1f%%\n",
+			scheme,
+			100*float64(res.Stats.TotalReadMisses())/float64(base.Stats.TotalReadMisses()),
+			100*float64(res.Stats.TotalReadStall())/float64(base.Stats.TotalReadStall()))
+	}
+}

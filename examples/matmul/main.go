@@ -1,0 +1,100 @@
+// Matmul recreates the paper's §3.1 motivating example: the matrix
+// multiplication C = A·B whose inner loop reads A with a stride of one
+// element and B with a stride of one row (Figure 2 of the paper). It
+// builds the workload with the public custom-program API, runs it under
+// each scheme, and shows how the characteristics analysis detects the
+// two stride sequences.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetchsim"
+)
+
+const (
+	l, m, n = 48, 48, 48 // C[L,M] = A[L,N] · B[N,M]
+	procs   = 4
+	word    = 8
+)
+
+// program builds the multiply with rows of C distributed round-robin.
+func program() *prefetchsim.Program {
+	space := prefetchsim.NewSpace()
+	a := prefetchsim.NewArray(space, l, n*word, 0)
+	b := prefetchsim.NewArray(space, n, m*word, 0)
+	c := prefetchsim.NewArray(space, l, m*word, 0)
+
+	const (
+		pcA prefetchsim.PC = 1 // A[i,k]: stride one element
+		pcB prefetchsim.PC = 2 // B[k,j]: stride one row
+		pcC prefetchsim.PC = 3
+	)
+
+	return prefetchsim.NewProgram("matmul", procs, func(p int, g *prefetchsim.Gen) {
+		for i := p; i < l; i += procs {
+			for j := 0; j < m; j++ {
+				for k := 0; k < n; k++ {
+					g.Read(pcA, a.At(i, k*word), 1)
+					g.Read(pcB, b.At(k, j*word), 1)
+				}
+				g.Write(pcC, c.At(i, j*word), 2)
+			}
+		}
+	})
+}
+
+func main() {
+	// First: what do the access patterns look like? Run the baseline
+	// with the Table 2 analysis attached.
+	res, err := prefetchsim.Run(prefetchsim.Config{
+		Program:                program(),
+		Processors:             procs,
+		CollectCharacteristics: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matrix multiply, baseline:")
+	fmt.Printf("  read misses (processor 0):   %d\n", res.Chars.TotalMisses)
+	fmt.Printf("  within stride sequences:     %.0f%%\n", 100*res.Chars.FracInSequences())
+	for _, s := range res.Chars.Strides() {
+		if s.Share < 0.02 {
+			break
+		}
+		fmt.Printf("  stride %3d blocks: %5.1f%%  (%s)\n", s.Stride, 100*s.Share,
+			map[bool]string{true: "B[k,j]: one matrix row", false: "A[i,k]: consecutive blocks"}[s.Stride > 1])
+	}
+
+	baseMisses := res.Stats.TotalReadMisses()
+	fmt.Println("\nprefetching schemes across degrees of prefetching:")
+	for _, scheme := range []prefetchsim.Scheme{
+		prefetchsim.IDet, prefetchsim.DDet, prefetchsim.Seq,
+	} {
+		for _, d := range []int{1, 2, 4} {
+			r, err := prefetchsim.Run(prefetchsim.Config{
+				Program:    program(),
+				Processors: procs,
+				Scheme:     scheme,
+				Degree:     d,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6s d=%d  misses %5.1f%% of baseline, efficiency %5.1f%%\n",
+				scheme, d,
+				100*float64(r.Stats.TotalReadMisses())/float64(baseMisses),
+				100*r.Stats.PrefetchEfficiency())
+		}
+	}
+	fmt.Println("\nTwo effects worth noticing. Sequential prefetching wins even at d=1:")
+	fmt.Println("a miss on one of B's blocks prefetches its successor, which the inner")
+	fmt.Println("product consumes a few j-iterations later — plenty of lookahead. The")
+	fmt.Println("stride detectors predict B's row-length stride correctly (their")
+	fmt.Println("efficiency is ~97%) but at d=1 the prefetch lands one ~30-pclock")
+	fmt.Println("iteration ahead of a much larger miss latency, so it only hides part")
+	fmt.Println("of each stall; raising d buys them the missing lookahead. This is the")
+	fmt.Println("timeliness trade-off behind the lookahead-PC discussion in §6 of the")
+	fmt.Println("paper.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: run one of the paper's applications under each
+// prefetching scheme and print the headline numbers of Figure 6 — read
+// misses and read stall time relative to the baseline architecture,
+// and prefetch efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefetchsim"
+)
+
+func main() {
+	// A smaller machine than the paper's 16 processors keeps the
+	// quickstart fast; cmd/figure6 runs the full configuration.
+	const procs = 4
+
+	base, err := prefetchsim.Run(prefetchsim.Config{
+		App:        "mp3d",
+		Scheme:     prefetchsim.Baseline,
+		Processors: procs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MP3D baseline: %d read misses, %d pclocks read stall\n\n",
+		base.Stats.TotalReadMisses(), base.Stats.TotalReadStall())
+
+	for _, scheme := range []prefetchsim.Scheme{
+		prefetchsim.IDet, prefetchsim.DDet, prefetchsim.Seq,
+	} {
+		res, err := prefetchsim.Run(prefetchsim.Config{
+			App:        "mp3d",
+			Scheme:     scheme,
+			Degree:     1,
+			Processors: procs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		relMiss := float64(res.Stats.TotalReadMisses()) / float64(base.Stats.TotalReadMisses())
+		relStall := float64(res.Stats.TotalReadStall()) / float64(base.Stats.TotalReadStall())
+		fmt.Printf("%-6s  read misses %5.1f%% of baseline   read stall %5.1f%%   prefetch efficiency %4.1f%%\n",
+			scheme, 100*relMiss, 100*relStall, 100*res.Stats.PrefetchEfficiency())
+	}
+
+	fmt.Println("\nThe paper's headline: on MP3D, sequential prefetching removes far")
+	fmt.Println("more misses than either stride scheme, because most strides are")
+	fmt.Println("shorter than a block and the particle records have spatial locality.")
+}

@@ -1,0 +1,3 @@
+module prefetchsim
+
+go 1.22

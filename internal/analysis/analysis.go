@@ -1,0 +1,238 @@
+// Package analysis computes the application characteristics of the
+// paper's §5.1 (Table 2) and §5.3 (Table 3): the fraction of read
+// misses that belong to stride sequences, the average length of those
+// sequences, and the distribution of strides (in blocks).
+//
+// Following the paper's methodology, the analysis uses I-detection on
+// the SLC read-miss stream of a single processor and requires at least
+// three equidistant accesses from the same load instruction to call
+// something a stride sequence.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// MinRun is the paper's sequence criterion: at least three equidistant
+// accesses from one load instruction.
+const MinRun = 3
+
+// Miss is one observed SLC read miss.
+type Miss struct {
+	PC    trace.PC
+	Block mem.Block
+}
+
+// Collector gathers one processor's miss stream via the machine's
+// MissObserver hook.
+type Collector struct {
+	// Node selects the processor to observe (the paper uses one
+	// processor, "which has been shown to be representative").
+	Node   int
+	misses []Miss
+}
+
+// Observe is a machine.Config.MissObserver.
+func (c *Collector) Observe(node int, pc trace.PC, addr mem.Addr) {
+	if node == c.Node {
+		c.misses = append(c.misses, Miss{PC: pc, Block: mem.BlockOf(addr)})
+	}
+}
+
+// Misses returns the collected miss stream.
+func (c *Collector) Misses() []Miss { return c.misses }
+
+// StrideShare is one row of the stride distribution.
+type StrideShare struct {
+	Stride int64 // in blocks; negative strides are folded to positive
+	// Share is the fraction of stride-sequence misses belonging to
+	// sequences with this stride.
+	Share float64
+}
+
+// Result summarizes a miss stream.
+type Result struct {
+	TotalMisses  int
+	StrideMisses int // misses within stride sequences
+	Sequences    int
+	sumSeqLen    int
+	hist         map[int64]int // |stride| in blocks → misses
+}
+
+// FracInSequences is Table 2's "read misses within stride sequences".
+func (r Result) FracInSequences() float64 {
+	if r.TotalMisses == 0 {
+		return 0
+	}
+	return float64(r.StrideMisses) / float64(r.TotalMisses)
+}
+
+// AvgSeqLen is Table 2's "average length of sequence", in block
+// references.
+func (r Result) AvgSeqLen() float64 {
+	if r.Sequences == 0 {
+		return 0
+	}
+	return float64(r.sumSeqLen) / float64(r.Sequences)
+}
+
+// Strides returns the stride distribution sorted by descending share.
+func (r Result) Strides() []StrideShare {
+	if r.StrideMisses == 0 {
+		return nil
+	}
+	out := make([]StrideShare, 0, len(r.hist))
+	for s, c := range r.hist {
+		out = append(out, StrideShare{Stride: s, Share: float64(c) / float64(r.StrideMisses)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Stride < out[j].Stride
+	})
+	return out
+}
+
+// Dominant returns the dominant stride and its share; zero-valued if no
+// stride sequences were found.
+func (r Result) Dominant() StrideShare {
+	s := r.Strides()
+	if len(s) == 0 {
+		return StrideShare{}
+	}
+	return s[0]
+}
+
+// String renders the Table 2/3 row for this result.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "misses %d, in stride sequences %.1f%%, avg length %.1f",
+		r.TotalMisses, 100*r.FracInSequences(), r.AvgSeqLen())
+	for i, s := range r.Strides() {
+		if i == 2 || s.Share < 0.05 {
+			break
+		}
+		fmt.Fprintf(&b, ", stride %d (%.0f%%)", s.Stride, 100*s.Share)
+	}
+	return b.String()
+}
+
+// Analyze computes the stride-sequence statistics of a miss stream.
+// Misses from each load instruction are examined in order; maximal runs
+// of at least MinRun equidistant block addresses (nonzero stride) form
+// stride sequences.
+func Analyze(misses []Miss) Result {
+	r := Result{TotalMisses: len(misses), hist: make(map[int64]int)}
+
+	byPC := make(map[trace.PC][]mem.Block)
+	var order []trace.PC
+	for _, m := range misses {
+		if _, ok := byPC[m.PC]; !ok {
+			order = append(order, m.PC)
+		}
+		byPC[m.PC] = append(byPC[m.PC], m.Block)
+	}
+
+	for _, pc := range order {
+		blocks := byPC[pc]
+		i := 0
+		for i+1 < len(blocks) {
+			stride := int64(blocks[i+1]) - int64(blocks[i])
+			if stride == 0 {
+				i++
+				continue
+			}
+			j := i + 1
+			for j+1 < len(blocks) && int64(blocks[j+1])-int64(blocks[j]) == stride {
+				j++
+			}
+			runLen := j - i + 1
+			if runLen >= MinRun {
+				r.StrideMisses += runLen
+				r.Sequences++
+				r.sumSeqLen += runLen
+				abs := stride
+				if abs < 0 {
+					abs = -abs
+				}
+				r.hist[abs] += runLen
+			}
+			i = j
+		}
+	}
+	return r
+}
+
+// MultiCollector gathers every processor's miss stream, for the §5.1
+// representativeness check (the paper analyzes one processor, "which
+// has been shown to be representative").
+type MultiCollector struct {
+	misses [][]Miss
+}
+
+// NewMultiCollector returns a collector for nodes processors.
+func NewMultiCollector(nodes int) *MultiCollector {
+	return &MultiCollector{misses: make([][]Miss, nodes)}
+}
+
+// Observe is a machine.Config.MissObserver.
+func (c *MultiCollector) Observe(node int, pc trace.PC, addr mem.Addr) {
+	c.misses[node] = append(c.misses[node], Miss{PC: pc, Block: mem.BlockOf(addr)})
+}
+
+// Results analyzes every processor's stream.
+func (c *MultiCollector) Results() []Result {
+	out := make([]Result, len(c.misses))
+	for i, m := range c.misses {
+		out[i] = Analyze(m)
+	}
+	return out
+}
+
+// SiteStat summarizes one load site's miss stream: which static loads
+// generate the misses, and with what stride behaviour. This is the
+// per-instruction view an architect uses to decide where an RPT entry
+// pays off.
+type SiteStat struct {
+	PC           trace.PC
+	Misses       int
+	StrideMisses int
+	// Dominant is the site's most common stride in blocks (0 if the
+	// site has no stride sequences).
+	Dominant int64
+}
+
+// BySite groups a miss stream per load site, ordered by descending miss
+// count.
+func BySite(misses []Miss) []SiteStat {
+	byPC := make(map[trace.PC][]Miss)
+	var order []trace.PC
+	for _, m := range misses {
+		if _, ok := byPC[m.PC]; !ok {
+			order = append(order, m.PC)
+		}
+		byPC[m.PC] = append(byPC[m.PC], m)
+	}
+	out := make([]SiteStat, 0, len(order))
+	for _, pc := range order {
+		r := Analyze(byPC[pc])
+		st := SiteStat{PC: pc, Misses: r.TotalMisses, StrideMisses: r.StrideMisses}
+		if d := r.Dominant(); d.Share > 0 {
+			st.Dominant = d.Stride
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+// Package apps registers the six applications the paper evaluates
+// (§4): MP3D, Cholesky, Water and PTHOR from the SPLASH suite plus the
+// Stanford LU and Ocean codes, all re-implemented as program-driven
+// reference generators (see DESIGN.md §4 for the substitutions).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"prefetchsim/internal/apps/cholesky"
+	"prefetchsim/internal/apps/lu"
+	"prefetchsim/internal/apps/matmul"
+	"prefetchsim/internal/apps/mp3d"
+	"prefetchsim/internal/apps/ocean"
+	"prefetchsim/internal/apps/pthor"
+	"prefetchsim/internal/apps/water"
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/trace"
+)
+
+// Maker builds one application's program for the given parameters.
+type Maker func(workload.Params) *trace.Program
+
+var registry = map[string]Maker{
+	"mp3d":     func(p workload.Params) *trace.Program { return mp3d.New(mp3d.DefaultConfig(p)) },
+	"cholesky": func(p workload.Params) *trace.Program { return cholesky.New(cholesky.DefaultConfig(p)) },
+	"water":    func(p workload.Params) *trace.Program { return water.New(water.DefaultConfig(p)) },
+	"lu":       func(p workload.Params) *trace.Program { return lu.New(lu.DefaultConfig(p)) },
+	"ocean":    func(p workload.Params) *trace.Program { return ocean.New(ocean.DefaultConfig(p)) },
+	"pthor":    func(p workload.Params) *trace.Program { return pthor.New(pthor.DefaultConfig(p)) },
+	// matmul is the paper's §3.1 illustrative example, registered as an
+	// extra workload; it is not part of the paper's six-application
+	// evaluation and therefore not in the default sweeps.
+	"matmul": func(p workload.Params) *trace.Program { return matmul.New(matmul.DefaultConfig(p)) },
+}
+
+// paperOrder is the column order of the paper's tables.
+var paperOrder = []string{"mp3d", "cholesky", "water", "lu", "ocean", "pthor"}
+
+// Names returns the application names in the paper's table order.
+func Names() []string { return append([]string(nil), paperOrder...) }
+
+// Get returns the maker for name.
+func Get(name string) (Maker, error) {
+	mk, ok := registry[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("apps: unknown application %q (known: %v)", name, known)
+	}
+	return mk, nil
+}
+
+// hints mirrors the registry for the §6 hybrid (software-assisted)
+// scheme: the stride table the "compiler" would hand the hardware.
+var hints = map[string]func(workload.Params) map[trace.PC]int64{
+	"mp3d":     func(workload.Params) map[trace.PC]int64 { return mp3d.StrideHints() },
+	"cholesky": func(workload.Params) map[trace.PC]int64 { return cholesky.StrideHints() },
+	"water":    func(workload.Params) map[trace.PC]int64 { return water.StrideHints() },
+	"lu":       func(workload.Params) map[trace.PC]int64 { return lu.StrideHints() },
+	"ocean":    func(workload.Params) map[trace.PC]int64 { return ocean.StrideHints() },
+	"pthor":    func(workload.Params) map[trace.PC]int64 { return pthor.StrideHints() },
+	"matmul": func(p workload.Params) map[trace.PC]int64 {
+		return matmul.StrideHints(matmul.DefaultConfig(p).M)
+	},
+}
+
+// StrideHints returns the application's compile-time stride table for
+// the given parameters (may be empty, as for PTHOR).
+func StrideHints(name string, p workload.Params) (map[trace.PC]int64, error) {
+	h, ok := hints[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	return h(p), nil
+}

@@ -1,0 +1,87 @@
+package cholesky
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/trace"
+)
+
+func TestDefaultConfigScales(t *testing.T) {
+	small := DefaultConfig(workload.Params{Scale: 1})
+	large := DefaultConfig(workload.Params{Scale: 2})
+	if large.Supernodes <= small.Supernodes {
+		t.Fatal("scale 2 did not grow the factorization")
+	}
+	if small.Width != 8 {
+		t.Fatalf("width = %d", small.Width)
+	}
+}
+
+func TestNewPanicsOnTooFewSupernodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	New(Config{Params: workload.Params{Procs: 16}, Supernodes: 4, Width: 4, Reach: 2})
+}
+
+func TestPanelHeightsShrink(t *testing.T) {
+	p := New(Config{Params: workload.Params{Procs: 2}, Supernodes: 10, Width: 4, Reach: 3})
+	defer p.Stop()
+	// Factor-phase writes for supernode 0 (owner: proc 0) must cover a
+	// larger panel than later supernodes'. Count pcFacW writes per
+	// even-numbered supernode in proc 0's stream.
+	var perSuper []int
+	count := 0
+	barriers := 0
+	for {
+		op := p.Streams[0].Next()
+		if op.Kind == trace.End {
+			break
+		}
+		switch {
+		case op.Kind == trace.Barrier:
+			barriers++
+			if barriers%2 == 1 { // end of a factor phase
+				perSuper = append(perSuper, count)
+				count = 0
+			}
+		case op.Kind == trace.Write && op.PC == pcFacW:
+			count++
+		}
+	}
+	// Proc 0 owns supernodes 0, 2, 4...; entries for odd supernodes are 0.
+	if len(perSuper) < 10 || perSuper[0] == 0 {
+		t.Fatalf("factor write counts: %v", perSuper)
+	}
+	if last := perSuper[8]; last >= perSuper[0] {
+		t.Fatalf("panel heights do not shrink: first %d, ninth %d", perSuper[0], last)
+	}
+}
+
+func TestUpdatesAreDeterministicPerPair(t *testing.T) {
+	mk := func() []trace.Op {
+		p := New(Config{Params: workload.Params{Procs: 2}, Supernodes: 8, Width: 4, Reach: 3})
+		defer p.Stop()
+		var ops []trace.Op
+		for {
+			op := p.Streams[1].Next()
+			if op.Kind == trace.End {
+				break
+			}
+			ops = append(ops, op)
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}

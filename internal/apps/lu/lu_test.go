@@ -1,0 +1,63 @@
+package lu
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/trace"
+)
+
+func TestDefaultConfigPaperInput(t *testing.T) {
+	c := DefaultConfig(workload.Params{})
+	if c.N != 200 {
+		t.Fatalf("N = %d, want the paper's 200", c.N)
+	}
+	if c.Procs != 16 {
+		t.Fatalf("Procs = %d, want 16", c.Procs)
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	small := DefaultConfig(workload.Params{Scale: 1})
+	large := DefaultConfig(workload.Params{Scale: 2})
+	if large.N <= small.N {
+		t.Fatalf("scale 2 did not grow the matrix: %d vs %d", large.N, small.N)
+	}
+}
+
+func TestNewPanicsOnTinyMatrix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("N=2 did not panic")
+		}
+	}()
+	New(Config{Params: workload.Params{Procs: 2}, N: 2})
+}
+
+func TestStreamsBeginWithBarrier(t *testing.T) {
+	p := New(Config{Params: workload.Params{Procs: 2}, N: 8})
+	defer p.Stop()
+	for i, s := range p.Streams {
+		if op := s.Next(); op.Kind != trace.Barrier {
+			t.Fatalf("stream %d starts with %v, want Barrier (iteration fence)", i, op.Kind)
+		}
+	}
+}
+
+func TestOnlyPivotOwnerDividesRow(t *testing.T) {
+	p := New(Config{Params: workload.Params{Procs: 2}, N: 8})
+	defer p.Stop()
+	// After the first barrier, only processor 0 (owner of row 0) should
+	// issue non-barrier work before the second barrier.
+	working := 0
+	for i, s := range p.Streams {
+		s.Next() // barrier 0
+		if op := s.Next(); op.Kind == trace.Read || op.Kind == trace.Write {
+			working++
+			_ = i
+		}
+	}
+	if working != 1 {
+		t.Fatalf("%d processors worked in the divide phase, want 1", working)
+	}
+}

@@ -1,0 +1,75 @@
+// Package matmul implements the paper's own motivating example: the
+// matrix multiplication of §3.1 Figure 2, C = A·B with A and B
+// allocated row-wise. In the inner loop the reads of A form a
+// one-element stride sequence while the reads of B stride by a whole
+// row — the two access shapes whose interplay the paper's terminology
+// section is built around. It is registered as a seventh workload so
+// the stride-vs-sequential comparison can be run on the textbook case.
+package matmul
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// Load-site PCs: the three references of the inner-loop statement.
+const (
+	pcA trace.PC = iota + 1 // A[i,k]: one-element stride
+	pcB                     // B[k,j]: one-row stride
+	pcCR
+	pcCW
+)
+
+// Config parameterizes the workload: C[L,M] = A[L,N] · B[N,M].
+type Config struct {
+	workload.Params
+	L, M, N int
+}
+
+// DefaultConfig returns a multiply sized so B's row stride (M doubles)
+// is well beyond a block, scaled by p.Scale.
+func DefaultConfig(p workload.Params) Config {
+	p = p.Norm()
+	n := 96 * p.Scale
+	return Config{Params: p, L: n, M: n, N: n}
+}
+
+// New builds the matmul program. Rows of C are distributed round-robin.
+func New(c Config) *trace.Program {
+	c.Params = c.Params.Norm()
+	if c.L < c.Procs || c.M < 4 || c.N < 4 {
+		panic(fmt.Sprintf("matmul: dimensions %dx%dx%d too small for %d processors",
+			c.L, c.M, c.N, c.Procs))
+	}
+	w := workload.WordBytes
+	space := mem.NewSpace()
+	a := mem.NewArray(space, c.L, c.N*w, c.N*w)
+	b := mem.NewArray(space, c.N, c.M*w, c.M*w)
+	cm := mem.NewArray(space, c.L, c.M*w, c.M*w)
+
+	return workload.Build(fmt.Sprintf("Matmul-%dx%dx%d", c.L, c.M, c.N), c.Procs,
+		func(p int, g *workload.Gen) {
+			for i := p; i < c.L; i += c.Procs {
+				for j := 0; j < c.M; j++ {
+					g.Read(pcCR, cm.At(i, j*w), 2)
+					for k := 0; k < c.N; k++ {
+						g.Read(pcA, a.At(i, k*w), 2)
+						g.Read(pcB, b.At(k, j*w), 2)
+					}
+					g.Write(pcCW, cm.At(i, j*w), 4)
+				}
+			}
+		})
+}
+
+// StrideHints returns the strides the §3.1 discussion derives by
+// inspection: A strides one element, B one row.
+func StrideHints(m int) map[trace.PC]int64 {
+	return map[trace.PC]int64{
+		pcA: workload.WordBytes,
+		pcB: int64(m) * workload.WordBytes,
+	}
+}

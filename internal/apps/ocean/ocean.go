@@ -1,0 +1,158 @@
+// Package ocean re-implements the Stanford Ocean benchmark used in the
+// paper: an iterative 5-point-stencil grid solver on a 128×128 ocean
+// basin (§4), partitioned into square subgrids (one per processor).
+//
+// The grid rows are padded to 260 doubles = 2080 bytes = 65 blocks, so
+// a vertical neighbour access strides 65 blocks — reproducing Ocean's
+// signature bimodal stride mix from Table 2 (dominant strides 65 and
+// 1). Each iteration a processor refreshes its ghost zone from its
+// neighbours' freshly-written boundaries, as the real code's dedicated
+// boundary routines do: north/south ghost rows give short 1-block-
+// stride runs, east/west ghost columns give long 65-block-stride runs
+// whose blocks carry only one useful word. Those column misses are why
+// Ocean is the one application where stride prefetching beats
+// sequential prefetching (§5.2).
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// RowBlocks is the padded row pitch in blocks; the paper reports 65 as
+// Ocean's dominant stride.
+const RowBlocks = 65
+
+const rowBytes = RowBlocks * mem.BlockBytes // 2080 B = 260 doubles
+
+// Load-site PCs. The ghost-zone exchange has its own sites (separate
+// routines in the real code); the interior sweep has the stencil sites.
+const (
+	pcGhostN trace.PC = iota + 1
+	pcGhostS
+	pcGhostW
+	pcGhostE
+	pcNorth
+	pcSouth
+	pcWest
+	pcEast
+	pcCenter
+	pcStore
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	workload.Params
+	// N is the interior grid dimension (paper input: 128×128).
+	N int
+	// Iters is the number of solver sweeps (the paper iterates to a
+	// 1e-7 tolerance; we fix the sweep count).
+	Iters int
+}
+
+// DefaultConfig returns the paper's input scaled by p.Scale.
+func DefaultConfig(p workload.Params) Config {
+	p = p.Norm()
+	n := 128
+	if p.Scale > 1 {
+		n = 128 + 64*(p.Scale-1)
+	}
+	return Config{Params: p, N: n, Iters: 18}
+}
+
+// New builds the Ocean program.
+func New(c Config) *trace.Program {
+	c.Params = c.Params.Norm()
+	P, N := c.Procs, c.N
+	if (N+2)*workload.WordBytes > rowBytes {
+		panic(fmt.Sprintf("ocean: interior %d exceeds the 260-double padded row", N))
+	}
+	side := int(math.Sqrt(float64(P)))
+	if side*side != P {
+		panic(fmt.Sprintf("ocean: processor count %d is not a perfect square", P))
+	}
+	if N%side != 0 {
+		panic(fmt.Sprintf("ocean: grid %d not divisible into %dx%d subgrids", N, side, side))
+	}
+	sub := N / side
+
+	space := mem.NewSpace()
+	grids := [2]mem.Array{
+		mem.NewArray(space, N+2, rowBytes, rowBytes),
+		mem.NewArray(space, N+2, rowBytes, rowBytes),
+	}
+	at := func(gr, i, j int) mem.Addr { return grids[gr].At(i, j*workload.WordBytes) }
+
+	return workload.Build(fmt.Sprintf("Ocean-%dx%d", N, N), P, func(p int, g *workload.Gen) {
+		pr, pc := p/side, p%side
+		i0, j0 := 1+pr*sub, 1+pc*sub // interior coordinates are 1-based
+		i1, j1 := i0+sub-1, j0+sub-1
+
+		// First touch of my subgrid in both phases.
+		for gr := 0; gr < 2; gr++ {
+			for i := i0; i <= i1; i++ {
+				for j := j0; j <= j1; j++ {
+					g.Write(pcStore, at(gr, i, j), 1)
+				}
+			}
+		}
+		g.Barrier()
+
+		src, dst := 0, 1
+		for it := 0; it < c.Iters; it++ {
+			// Ghost-zone refresh: read the neighbours' boundary cells
+			// (rewritten by them every iteration) into private copies.
+			for j := j0; j <= j1; j++ {
+				g.Read(pcGhostN, at(src, i0-1, j), 2)
+			}
+			for j := j0; j <= j1; j++ {
+				g.Read(pcGhostS, at(src, i1+1, j), 2)
+			}
+			for i := i0; i <= i1; i++ {
+				g.Read(pcGhostW, at(src, i, j0-1), 6)
+			}
+			for i := i0; i <= i1; i++ {
+				g.Read(pcGhostE, at(src, i, j1+1), 6)
+			}
+
+			// Interior stencil sweep; edge points use the private ghost
+			// copies, so only own-subgrid cells are referenced.
+			for i := i0; i <= i1; i++ {
+				for j := j0; j <= j1; j++ {
+					if i > i0 {
+						g.Read(pcNorth, at(src, i-1, j), 1)
+					}
+					if i < i1 {
+						g.Read(pcSouth, at(src, i+1, j), 1)
+					}
+					if j > j0 {
+						g.Read(pcWest, at(src, i, j-1), 1)
+					}
+					if j < j1 {
+						g.Read(pcEast, at(src, i, j+1), 1)
+					}
+					g.Read(pcCenter, at(src, i, j), 1)
+					g.Write(pcStore, at(dst, i, j), 4) // stencil arithmetic
+				}
+			}
+			src, dst = dst, src
+			g.Barrier()
+		}
+	})
+}
+
+// StrideHints returns the compile-time-known strides of Ocean's
+// ghost-exchange and sweep loops, for the §6 hybrid scheme: ghost rows
+// stream by one element, ghost columns by one padded grid row.
+func StrideHints() map[trace.PC]int64 {
+	return map[trace.PC]int64{
+		pcGhostN: workload.WordBytes,
+		pcGhostS: workload.WordBytes,
+		pcGhostW: rowBytes,
+		pcGhostE: rowBytes,
+	}
+}

@@ -1,0 +1,90 @@
+package ocean
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/trace"
+)
+
+func TestRowPitchIsSixtyFiveBlocks(t *testing.T) {
+	if RowBlocks != 65 {
+		t.Fatal("the paper's dominant Ocean stride is 65 blocks")
+	}
+	if rowBytes != 2080 {
+		t.Fatalf("rowBytes = %d, want 2080", rowBytes)
+	}
+}
+
+func TestDefaultConfigPaperInput(t *testing.T) {
+	c := DefaultConfig(workload.Params{})
+	if c.N != 128 {
+		t.Fatalf("N = %d, want the paper's 128", c.N)
+	}
+	if DefaultConfig(workload.Params{Scale: 2}).N <= 128 {
+		t.Fatal("scale 2 did not grow the grid")
+	}
+}
+
+func TestNewValidatesGeometry(t *testing.T) {
+	cases := map[string]Config{
+		"non-square procs": {Params: workload.Params{Procs: 6}, N: 12, Iters: 1},
+		"indivisible grid": {Params: workload.Params{Procs: 4}, N: 9, Iters: 1},
+		"grid too wide":    {Params: workload.Params{Procs: 4}, N: 400, Iters: 1},
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestGhostColumnReadsStrideOneRow(t *testing.T) {
+	// Drain processor 1's stream (subgrid column 1 of a 2x2 split) and
+	// check its west-ghost reads stride by exactly one padded row.
+	p := New(Config{Params: workload.Params{Procs: 4}, N: 16, Iters: 1})
+	defer p.Stop()
+	s := p.Streams[1]
+	var west []uint64
+	for {
+		op := s.Next()
+		if op.Kind == trace.End {
+			break
+		}
+		if op.Kind == trace.Read && op.PC == pcGhostW {
+			west = append(west, op.Addr)
+		}
+	}
+	if len(west) != 8 { // one iteration, 8-row subgrid
+		t.Fatalf("west ghost reads = %d, want 8", len(west))
+	}
+	for i := 1; i < len(west); i++ {
+		if west[i]-west[i-1] != rowBytes {
+			t.Fatalf("ghost column stride = %d bytes, want %d", west[i]-west[i-1], rowBytes)
+		}
+	}
+}
+
+func TestBarrierCountMatchesIterations(t *testing.T) {
+	const iters = 3
+	p := New(Config{Params: workload.Params{Procs: 4}, N: 16, Iters: iters})
+	defer p.Stop()
+	barriers := 0
+	for {
+		op := p.Streams[0].Next()
+		if op.Kind == trace.End {
+			break
+		}
+		if op.Kind == trace.Barrier {
+			barriers++
+		}
+	}
+	if barriers != iters+1 { // init barrier + one per sweep
+		t.Fatalf("barriers = %d, want %d", barriers, iters+1)
+	}
+}

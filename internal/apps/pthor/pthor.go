@@ -1,0 +1,195 @@
+// Package pthor re-implements the SPLASH PTHOR benchmark used in the
+// paper: a parallel logic-level circuit simulator (§4). The paper runs
+// the RISC circuit for 1000 time steps; that netlist is not available,
+// so the simulator runs a synthetic random circuit of two-input
+// XOR/NAND gates (see DESIGN.md §4). As in the paper's PTHOR runs, the
+// step count is reduced relative to the original "because of time
+// limitations for simulations".
+//
+// Gate records are 96 bytes (3 blocks) and a gate's evaluation chases
+// pointers to its two input gates' output words — scattered accesses
+// with low spatial locality and almost no strides (Table 2: 4.1% of
+// misses in stride sequences, average run 3.4). Neither stride nor
+// sequential prefetching helps much here, which makes PTHOR the paper's
+// control case.
+//
+// Gate activity depends on simulated values, so the boolean circuit is
+// evaluated once, deterministically, at program-construction time; each
+// processor then replays its own gates' activations.
+package pthor
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/sim"
+	"prefetchsim/internal/trace"
+)
+
+// Gate record layout: 96 bytes = 3 blocks. Block 0 holds the output
+// value and bookkeeping, block 1 the input pointers, block 2 the
+// scheduling state written by predecessors.
+const gateBytes = 96
+
+const (
+	offOut   = 0
+	offState = 8
+	offIn    = mem.BlockBytes
+	offSched = 2 * mem.BlockBytes
+)
+
+// Load-site PCs.
+const (
+	pcSelf trace.PC = iota + 1
+	pcStateR
+	pcPtr
+	pcIn
+	pcOutW
+	pcSchedR
+	pcSchedW
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	workload.Params
+	// Gates is the synthetic circuit size.
+	Gates int
+	// Steps is the number of simulated clock steps.
+	Steps int
+}
+
+// DefaultConfig returns the synthetic stand-in for the RISC circuit,
+// scaled by p.Scale.
+func DefaultConfig(p workload.Params) Config {
+	p = p.Norm()
+	return Config{Params: p, Gates: 3000 * p.Scale, Steps: 220}
+}
+
+// New builds the PTHOR program.
+func New(c Config) *trace.Program {
+	c.Params = c.Params.Norm()
+	P, G := c.Procs, c.Gates
+	if G < 4*P {
+		panic(fmt.Sprintf("pthor: %d gates too few for %d processors", G, P))
+	}
+
+	// Build the synthetic circuit.
+	rng := sim.NewRand(c.Seed*6364136223846793005 + 1442695040888963407)
+	in1 := make([]int32, G)
+	in2 := make([]int32, G)
+	isXor := make([]bool, G)
+	fanout := make([][]int32, G)
+	for gi := 0; gi < G; gi++ {
+		a, b := int32(rng.Intn(G)), int32(rng.Intn(G))
+		in1[gi], in2[gi] = a, b
+		isXor[gi] = rng.Intn(2) == 0
+		fanout[a] = append(fanout[a], int32(gi))
+		fanout[b] = append(fanout[b], int32(gi))
+	}
+
+	// Evaluate the circuit synchronously to derive the per-step active
+	// sets (a gate is active when an input changed last step).
+	out := make([]bool, G)
+	for gi := range out {
+		out[gi] = rng.Intn(2) == 0
+	}
+	active := make([][]int32, c.Steps) // per step, ascending gate ids
+	changed := make([][]bool, c.Steps) // parallel: did the output flip?
+	cur := make([]bool, G)             // active this step
+	next := make([]bool, G)
+	for gi := range cur {
+		cur[gi] = rng.Intn(4) == 0 // ~25% initially stimulated
+	}
+	newOut := make([]bool, G)
+	for step := 0; step < c.Steps; step++ {
+		copy(newOut, out)
+		for gi := 0; gi < G; gi++ {
+			if !cur[gi] {
+				continue
+			}
+			active[step] = append(active[step], int32(gi))
+			a, b := out[in1[gi]], out[in2[gi]]
+			var v bool
+			if isXor[gi] {
+				v = a != b
+			} else {
+				v = !(a && b)
+			}
+			flip := v != out[gi]
+			changed[step] = append(changed[step], flip)
+			if flip {
+				newOut[gi] = v
+				for _, succ := range fanout[gi] {
+					next[succ] = true
+				}
+			}
+		}
+		copy(out, newOut)
+		cur, next = next, cur
+		for gi := range next {
+			next[gi] = false
+		}
+	}
+
+	space := mem.NewSpace()
+	gates := mem.NewArray(space, G, gateBytes, gateBytes)
+	chunk := (G + P - 1) / P
+
+	return workload.Build(fmt.Sprintf("PTHOR-%dg", G), P, func(p int, g *workload.Gen) {
+		lo, hi := int32(p*chunk), int32((p+1)*chunk)
+		if hi > int32(G) {
+			hi = int32(G)
+		}
+		order := sim.NewRand(c.Seed*31 + uint64(p)*7919 + 3)
+		for step := 0; step < c.Steps; step++ {
+			// Collect my active gates, then process them in event-queue
+			// order (the original's pending-event list is not sorted by
+			// gate id; an ascending walk would fabricate strides).
+			type task struct {
+				gi   int32
+				flip bool
+			}
+			var mine []task
+			for ai, gi := range active[step] {
+				if gi >= lo && gi < hi {
+					mine = append(mine, task{gi: gi, flip: changed[step][ai]})
+				}
+			}
+			for i := len(mine) - 1; i > 0; i-- {
+				j := order.Intn(i + 1)
+				mine[i], mine[j] = mine[j], mine[i]
+			}
+			for _, tk := range mine {
+				gid := int(tk.gi)
+				// Dequeue: read scheduling state (written by the
+				// predecessor that activated us), then our own record.
+				g.Read(pcSchedR, gates.At(gid, offSched), 2)
+				g.Read(pcSelf, gates.At(gid, offOut), 2)
+				g.Read(pcStateR, gates.At(gid, offState), 1)
+				g.Read(pcPtr, gates.At(gid, offIn), 1)
+				g.Read(pcPtr, gates.At(gid, offIn+8), 1)
+				// Chase the input pointers: scattered reads.
+				g.Read(pcIn, gates.At(int(in1[gid]), offOut), 4)
+				g.Read(pcIn, gates.At(int(in2[gid]), offOut), 4)
+				// Evaluate; publish and schedule successors only when
+				// the output flipped (bounded fanout walk).
+				if tk.flip {
+					g.Write(pcOutW, gates.At(gid, offOut), 3)
+					for fi, succ := range fanout[gid] {
+						if fi == 4 {
+							break
+						}
+						g.Write(pcSchedW, gates.At(int(succ), offSched), 2)
+					}
+				}
+			}
+			g.Barrier()
+		}
+	})
+}
+
+// StrideHints returns an empty table: PTHOR's accesses are
+// pointer-chasing and carry no compile-time stride information, which
+// is precisely why it is the paper's control application.
+func StrideHints() map[trace.PC]int64 { return nil }

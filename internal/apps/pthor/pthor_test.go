@@ -1,0 +1,92 @@
+package pthor
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+func TestGateRecordIsThreeBlocks(t *testing.T) {
+	if gateBytes != 3*mem.BlockBytes {
+		t.Fatalf("gate record = %d bytes", gateBytes)
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	if DefaultConfig(workload.Params{Scale: 2}).Gates <= DefaultConfig(workload.Params{}).Gates {
+		t.Fatal("scale 2 did not grow the circuit")
+	}
+}
+
+func TestNewPanicsOnTinyCircuit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	New(Config{Params: workload.Params{Procs: 16}, Gates: 10, Steps: 1})
+}
+
+func TestActivityPersists(t *testing.T) {
+	// The XOR/NAND mix must keep the circuit alive: the last step still
+	// processes gates (otherwise the workload degenerates to barriers).
+	cfg := Config{Params: workload.Params{Procs: 2, Seed: 3}, Gates: 500, Steps: 40}
+	p := New(cfg)
+	defer p.Stop()
+	reads := 0
+	barriers := 0
+	lastActiveBarrier := 0
+	for {
+		op := p.Streams[0].Next()
+		if op.Kind == trace.End {
+			break
+		}
+		switch op.Kind {
+		case trace.Barrier:
+			barriers++
+		case trace.Read:
+			reads++
+			lastActiveBarrier = barriers
+		}
+	}
+	if barriers != cfg.Steps {
+		t.Fatalf("barriers = %d, want %d", barriers, cfg.Steps)
+	}
+	if reads == 0 {
+		t.Fatal("no gate evaluations at all")
+	}
+	if lastActiveBarrier < cfg.Steps*3/4 {
+		t.Fatalf("activity died out after step %d of %d", lastActiveBarrier, cfg.Steps)
+	}
+}
+
+func TestInputPointerChasingIsScattered(t *testing.T) {
+	// The two input reads of consecutive evaluations must not form long
+	// equidistant runs (PTHOR is the paper's stride-free control).
+	p := New(Config{Params: workload.Params{Procs: 1, Seed: 5}, Gates: 400, Steps: 5})
+	defer p.Stop()
+	var addrs []uint64
+	for {
+		op := p.Streams[0].Next()
+		if op.Kind == trace.End {
+			break
+		}
+		if op.PC == pcIn {
+			addrs = append(addrs, op.Addr)
+		}
+	}
+	if len(addrs) < 100 {
+		t.Fatalf("only %d input reads", len(addrs))
+	}
+	runs := 0
+	for i := 2; i < len(addrs); i++ {
+		if addrs[i]-addrs[i-1] == addrs[i-1]-addrs[i-2] && addrs[i] != addrs[i-1] {
+			runs++
+		}
+	}
+	if frac := float64(runs) / float64(len(addrs)); frac > 0.05 {
+		t.Fatalf("%.1f%% of input reads are equidistant; pointer chasing should be scattered", 100*frac)
+	}
+}

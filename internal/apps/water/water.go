@@ -1,0 +1,188 @@
+// Package water re-implements the SPLASH Water benchmark used in the
+// paper: an O(N²) molecular-dynamics simulation of 288 water molecules
+// for 4 time steps (§4).
+//
+// Each molecule is a 672-byte record — 21 cache blocks, which is
+// exactly the dominant stride Table 2 reports for Water (21 blocks,
+// 99%). The inter-molecular force loop walks the half-shell of partner
+// molecules j = i+1 .. i+N/2, reading the partner's nine
+// position/orientation doubles through nine distinct load sites (the
+// compiled structure-member accesses of the original), each of which
+// therefore strides by 21 blocks, and read-modify-writing the partner's
+// force block under its per-molecule lock.
+//
+// The nine position words span three consecutive blocks of the record
+// and the force word sits in the fourth, so although every stride
+// sequence is 21 blocks long, a miss on the record's first block is
+// followed by reads of its neighbours — the "high spatial locality of
+// accesses belonging to different stride sequences" that lets
+// sequential prefetching perform as well as stride prefetching on
+// Water despite the large stride (§5.2).
+package water
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// MoleculeBlocks is the padded molecule record size in blocks; the
+// paper's dominant Water stride.
+const MoleculeBlocks = 21
+
+const molBytes = MoleculeBlocks * mem.BlockBytes // 672 B = 84 doubles
+
+// Record layout: blocks 0-2 hold the nine position/orientation doubles
+// (three per block, as the original's 3×3 predictor-order matrix lays
+// out), block 3 the center-of-mass terms — read by every pair
+// computation and rewritten by the owner each step — block 4 the
+// accumulated forces, and blocks 5+ the velocities and higher-order
+// predictor state touched only by the owner.
+func offPos(w int) int { return (w/3)*mem.BlockBytes + (w%3)*workload.WordBytes }
+func offVm(w int) int  { return 3*mem.BlockBytes + w*workload.WordBytes }
+func offFrc(w int) int { return 4*mem.BlockBytes + w*workload.WordBytes }
+
+const (
+	offVel = 5 * mem.BlockBytes
+	offDer = 6 * mem.BlockBytes
+)
+
+// Load-site PC bases; the position read uses nine consecutive PCs, one
+// per structure member, like the original's unrolled member loads.
+const (
+	pcPosJ trace.PC = 10 + iota*16 // +w, w in 0..8
+	pcVmJ                          // +w, w in 0..2
+	pcFrcJ
+	pcFrcJW
+	pcPosI
+	pcPred
+	pcPredW
+	pcCorr
+	pcCorrW
+)
+
+// Config parameterizes the workload.
+type Config struct {
+	workload.Params
+	// Molecules is the molecule count (paper input: 288).
+	Molecules int
+	// Steps is the number of time steps (paper input: 4).
+	Steps int
+}
+
+// DefaultConfig returns the paper's input scaled by p.Scale.
+func DefaultConfig(p workload.Params) Config {
+	p = p.Norm()
+	return Config{Params: p, Molecules: 288 * p.Scale, Steps: 4}
+}
+
+// New builds the Water program.
+func New(c Config) *trace.Program {
+	c.Params = c.Params.Norm()
+	P, N := c.Procs, c.Molecules
+	if N < 2*P {
+		panic(fmt.Sprintf("water: %d molecules too few for %d processors", N, P))
+	}
+
+	space := mem.NewSpace()
+	mol := mem.NewArray(space, N, molBytes, molBytes)
+	lockVars := mem.NewArray(space, N, mem.BlockBytes, mem.BlockBytes)
+
+	chunk := (N + P - 1) / P
+	return workload.Build(fmt.Sprintf("Water-%d", N), P, func(p int, g *workload.Gen) {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > N {
+			hi = N
+		}
+
+		for step := 0; step < c.Steps; step++ {
+			// Predict: integrate my molecules' predictor state and
+			// publish new positions (private except for the position
+			// blocks other processors read).
+			for i := lo; i < hi; i++ {
+				for w := 0; w < 3; w++ {
+					g.Read(pcPred, mol.At(i, offVel+w*workload.WordBytes), 2)
+					g.Read(pcPred, mol.At(i, offDer+w*workload.WordBytes), 2)
+				}
+				for w := 0; w < 9; w++ {
+					g.Write(pcPredW, mol.At(i, offPos(w)), 2)
+				}
+				// The center-of-mass terms move with the molecule.
+				for w := 0; w < 3; w++ {
+					g.Write(pcPredW, mol.At(i, offVm(w)), 2)
+				}
+			}
+			g.Barrier()
+
+			// Inter-molecular forces over the half shell. Forces
+			// accumulate into private partial arrays; a molecule's
+			// global force block is updated (under its lock) as soon as
+			// my last contribution to it is computed, as the original
+			// does.
+			merge := func(j int) {
+				g.Lock(lockVars.Elem(j))
+				for w := 0; w < 3; w++ {
+					g.Read(pcFrcJ+trace.PC(w), mol.At(j, offFrc(w)), 2)
+					g.Write(pcFrcJW+trace.PC(w), mol.At(j, offFrc(w)), 2)
+				}
+				g.Unlock(lockVars.Elem(j))
+			}
+			for i := lo; i < hi; i++ {
+				for w := 0; w < 9; w++ {
+					g.Read(pcPosI+trace.PC(w), mol.At(i, offPos(w)), 1)
+				}
+				for d := 1; d <= N/2; d++ {
+					j := (i + d) % N
+					// Nine member loads spanning record blocks 0-2 and
+					// the center-of-mass terms in block 3, with the
+					// pair-potential arithmetic interleaved.
+					for w := 0; w < 9; w++ {
+						g.Read(pcPosJ+trace.PC(w), mol.At(j, offPos(w)), 3)
+					}
+					for w := 0; w < 3; w++ {
+						g.Read(pcVmJ+trace.PC(w), mol.At(j, offVm(w)), 3)
+					}
+				}
+				// My contributions to molecule i+1 are now complete.
+				if i+1 < hi {
+					merge(i + 1)
+				}
+			}
+			// Tail: molecules whose last contribution came from my
+			// final outer iteration, plus my own first molecule.
+			merge(lo)
+			for k := 0; k < N/2; k++ {
+				merge((hi + k) % N)
+			}
+			g.Barrier()
+
+			// Correct: update my molecules from the accumulated forces.
+			for i := lo; i < hi; i++ {
+				for w := 0; w < 3; w++ {
+					g.Read(pcCorr, mol.At(i, offFrc(w)), 2)
+					g.Write(pcCorrW, mol.At(i, offVel+w*workload.WordBytes), 2)
+					g.Write(pcCorrW, mol.At(i, offDer+w*workload.WordBytes), 2)
+				}
+			}
+			g.Barrier()
+		}
+	})
+}
+
+// StrideHints returns the compile-time-known strides of Water's pair
+// loop: every partner-molecule load site strides by one molecule
+// record. Used by the §6 hybrid (software-assisted) scheme.
+func StrideHints() map[trace.PC]int64 {
+	hints := make(map[trace.PC]int64)
+	for w := 0; w < 9; w++ {
+		hints[pcPosJ+trace.PC(w)] = molBytes
+	}
+	for w := 0; w < 3; w++ {
+		hints[pcVmJ+trace.PC(w)] = molBytes
+		hints[pcFrcJ+trace.PC(w)] = molBytes
+	}
+	return hints
+}

@@ -1,0 +1,74 @@
+package water
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
+)
+
+func TestRecordIsTwentyOneBlocks(t *testing.T) {
+	if MoleculeBlocks != 21 {
+		t.Fatal("the paper's dominant Water stride is 21 blocks")
+	}
+	if molBytes != 672 {
+		t.Fatalf("molBytes = %d, want 672", molBytes)
+	}
+}
+
+func TestLayoutOffsetsInDistinctRegions(t *testing.T) {
+	// Position words span blocks 0-2, three per block.
+	for w := 0; w < 9; w++ {
+		if got := offPos(w) / mem.BlockBytes; got != w/3 {
+			t.Fatalf("pos word %d in block %d, want %d", w, got, w/3)
+		}
+	}
+	// Center-of-mass in block 3, forces in block 4.
+	for w := 0; w < 3; w++ {
+		if offVm(w)/mem.BlockBytes != 3 {
+			t.Fatalf("vm word %d outside block 3", w)
+		}
+		if offFrc(w)/mem.BlockBytes != 4 {
+			t.Fatalf("force word %d outside block 4", w)
+		}
+	}
+	if offVel/mem.BlockBytes != 5 || offDer/mem.BlockBytes != 6 {
+		t.Fatal("private predictor state must follow the shared blocks")
+	}
+	if offDer >= molBytes {
+		t.Fatal("layout exceeds the record")
+	}
+}
+
+func TestDefaultConfigPaperInput(t *testing.T) {
+	c := DefaultConfig(workload.Params{})
+	if c.Molecules != 288 || c.Steps != 4 {
+		t.Fatalf("config = %d molecules, %d steps; paper uses 288, 4", c.Molecules, c.Steps)
+	}
+}
+
+func TestNewPanicsOnTooFewMolecules(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	New(Config{Params: workload.Params{Procs: 16}, Molecules: 8, Steps: 1})
+}
+
+func TestPairPCsAreDistinctPerWord(t *testing.T) {
+	// The nine member loads must be nine distinct load sites; collapsing
+	// them onto one PC destroys the paper's per-instruction stride-21
+	// sequences.
+	seen := map[int]bool{}
+	for w := 0; w < 9; w++ {
+		pc := int(pcPosJ) + w
+		if seen[pc] {
+			t.Fatalf("duplicate PC %d", pc)
+		}
+		seen[pc] = true
+	}
+	if int(pcVmJ) <= int(pcPosJ)+8 {
+		t.Fatal("PC bases overlap")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+func TestParamsNorm(t *testing.T) {
+	p := Params{}.Norm()
+	if p.Procs != 16 || p.Scale != 1 {
+		t.Fatalf("Norm() = %+v", p)
+	}
+	p = Params{Procs: 4, Scale: 3}.Norm()
+	if p.Procs != 4 || p.Scale != 3 {
+		t.Fatalf("Norm() clobbered explicit values: %+v", p)
+	}
+}
+
+func TestBuildRunsBodyPerProcessor(t *testing.T) {
+	prog := Build("t", 3, func(p int, g *Gen) {
+		g.Read(1, 1000+mem.Addr(p)*8, 0)
+	})
+	defer prog.Stop()
+	if len(prog.Streams) != 3 {
+		t.Fatalf("streams = %d", len(prog.Streams))
+	}
+	for p, s := range prog.Streams {
+		op := s.Next()
+		if op.Kind != trace.Read || op.Addr != uint64(1000+p*8) {
+			t.Fatalf("proc %d first op = %+v", p, op)
+		}
+		if s.Next().Kind != trace.End {
+			t.Fatalf("proc %d missing End", p)
+		}
+	}
+}
+
+func TestGenRanges(t *testing.T) {
+	prog := Build("t", 1, func(p int, g *Gen) {
+		g.ReadRange(1, 0x2000, 24, 2)
+		g.WriteRange(2, 0x3000, 16, 1)
+	})
+	defer prog.Stop()
+	s := prog.Streams[0]
+	for i := 0; i < 3; i++ {
+		op := s.Next()
+		if op.Kind != trace.Read || op.Addr != uint64(0x2000+i*8) || op.Gap != 2 {
+			t.Fatalf("read %d = %+v", i, op)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		op := s.Next()
+		if op.Kind != trace.Write || op.Addr != uint64(0x3000+i*8) {
+			t.Fatalf("write %d = %+v", i, op)
+		}
+	}
+}
+
+func TestGenBarrierAutoNumbers(t *testing.T) {
+	prog := Build("t", 1, func(p int, g *Gen) {
+		g.Barrier()
+		g.Barrier()
+		g.Barrier()
+	})
+	defer prog.Stop()
+	s := prog.Streams[0]
+	for i := 0; i < 3; i++ {
+		op := s.Next()
+		if op.Kind != trace.Barrier || op.Addr != uint64(i) {
+			t.Fatalf("barrier %d = %+v", i, op)
+		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	prog := Build("good", 2, func(p int, g *Gen) {
+		g.Lock(0x100)
+		g.Write(1, 0x2000, 0)
+		g.Unlock(0x100)
+		g.Barrier()
+		g.Read(2, 0x2000, 0)
+	})
+	counts, err := Validate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestValidateRejectsUnbalancedLocks(t *testing.T) {
+	cases := map[string]func(p int, g *Gen){
+		"release unheld": func(p int, g *Gen) { g.Unlock(0x100) },
+		"ends holding":   func(p int, g *Gen) { g.Lock(0x100) },
+		"double acquire": func(p int, g *Gen) { g.Lock(0x100); g.Lock(0x100) },
+	}
+	for name, body := range cases {
+		prog := Build(name, 1, body)
+		if _, err := Validate(prog, 1); err == nil {
+			t.Errorf("%s: Validate accepted it", name)
+		}
+	}
+}
+
+func TestValidateRejectsBarrierMismatch(t *testing.T) {
+	prog := Build("skew", 2, func(p int, g *Gen) {
+		if p == 0 {
+			g.Barrier()
+		}
+	})
+	if _, err := Validate(prog, 2); err == nil || !strings.Contains(err.Error(), "barrier") {
+		t.Fatalf("Validate error = %v, want barrier mismatch", err)
+	}
+}
+
+func TestValidateRejectsStreamCountMismatch(t *testing.T) {
+	prog := Build("n", 2, func(p int, g *Gen) {})
+	if _, err := Validate(prog, 3); err == nil {
+		t.Fatal("Validate accepted wrong stream count")
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "prefetchsim/internal/mem"
+
+// AssocStore is a set-associative SLC with LRU replacement — an
+// extension beyond the paper's direct-mapped §5.3 configuration, used
+// by the associativity ablation to separate conflict misses from
+// capacity misses.
+type AssocStore struct {
+	ways       int
+	sets       int
+	mask       uint64
+	tags       []mem.Block // sets × ways
+	lines      []Line
+	age        []uint64 // LRU stamps; larger = more recent
+	clock      uint64
+	prefetched int
+}
+
+// NewAssocStore returns a set-associative SLC of size bytes with the
+// given number of ways. size/(32·ways) must be a power of two.
+func NewAssocStore(size, ways int) *AssocStore {
+	if ways <= 0 {
+		panic("cache: associativity must be positive")
+	}
+	sets := size / (mem.BlockBytes * ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	n := sets * ways
+	return &AssocStore{
+		ways:  ways,
+		sets:  sets,
+		mask:  uint64(sets - 1),
+		tags:  make([]mem.Block, n),
+		lines: make([]Line, n),
+		age:   make([]uint64, n),
+	}
+}
+
+// find returns the way index of b within its set, or -1.
+func (c *AssocStore) find(b mem.Block) int {
+	base := int(uint64(b)&c.mask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w].State != Invalid && c.tags[base+w] == b {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Lookup implements Store.
+func (c *AssocStore) Lookup(b mem.Block) (Line, bool) {
+	if i := c.find(b); i >= 0 {
+		c.clock++
+		c.age[i] = c.clock
+		return c.lines[i], true
+	}
+	return Line{}, false
+}
+
+// Insert implements Store: LRU replacement within the set.
+func (c *AssocStore) Insert(b mem.Block, s State, prefetched bool) Victim {
+	c.clock++
+	if i := c.find(b); i >= 0 {
+		if c.lines[i].Prefetched {
+			c.prefetched--
+		}
+		c.lines[i] = Line{State: s, Prefetched: prefetched}
+		c.age[i] = c.clock
+		if prefetched {
+			c.prefetched++
+		}
+		return Victim{}
+	}
+	base := int(uint64(b)&c.mask) * c.ways
+	victimIdx := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.lines[i].State == Invalid {
+			victimIdx = i
+			break
+		}
+		if c.age[i] < c.age[victimIdx] {
+			victimIdx = i
+		}
+	}
+	var v Victim
+	if c.lines[victimIdx].State != Invalid {
+		v = Victim{Block: c.tags[victimIdx], Line: c.lines[victimIdx], Valid: true}
+		if c.lines[victimIdx].Prefetched {
+			c.prefetched--
+		}
+	}
+	c.tags[victimIdx] = b
+	c.lines[victimIdx] = Line{State: s, Prefetched: prefetched}
+	c.age[victimIdx] = c.clock
+	if prefetched {
+		c.prefetched++
+	}
+	return v
+}
+
+// SetState implements Store.
+func (c *AssocStore) SetState(b mem.Block, s State) {
+	if i := c.find(b); i >= 0 {
+		c.lines[i].State = s
+	}
+}
+
+// ClearPrefetched implements Store.
+func (c *AssocStore) ClearPrefetched(b mem.Block) bool {
+	if i := c.find(b); i >= 0 && c.lines[i].Prefetched {
+		c.lines[i].Prefetched = false
+		c.prefetched--
+		return true
+	}
+	return false
+}
+
+// Invalidate implements Store.
+func (c *AssocStore) Invalidate(b mem.Block) (Line, bool) {
+	if i := c.find(b); i >= 0 {
+		l := c.lines[i]
+		if l.Prefetched {
+			c.prefetched--
+		}
+		c.lines[i] = Line{}
+		return l, true
+	}
+	return Line{}, false
+}
+
+// PrefetchedCount implements Store.
+func (c *AssocStore) PrefetchedCount() int { return c.prefetched }

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefetchsim/internal/mem"
+)
+
+func TestAssocStoreContract(t *testing.T) {
+	storeTest(t, "assoc-2way", NewAssocStore(16384, 2))
+	storeTest(t, "assoc-4way", NewAssocStore(16384, 4))
+	storeTest(t, "assoc-full-width-1set", NewAssocStore(32*8, 8))
+}
+
+func TestAssocStoreHoldsWaysConflicts(t *testing.T) {
+	// A 2-way store survives two conflicting blocks where direct-mapped
+	// evicts.
+	c := NewAssocStore(16384, 2) // 256 sets
+	c.Insert(7, Shared, false)
+	if v := c.Insert(7+256, Shared, false); v.Valid {
+		t.Fatalf("2-way store evicted on second insert: %+v", v)
+	}
+	if _, ok := c.Lookup(7); !ok {
+		t.Fatal("first block lost")
+	}
+	if _, ok := c.Lookup(7 + 256); !ok {
+		t.Fatal("second block lost")
+	}
+	// A third conflicting block must evict the LRU (block 7 after we
+	// touch 7+256).
+	c.Lookup(7 + 256)
+	c.Lookup(7 + 256)
+	c.Lookup(7) // 7 is now most recent
+	v := c.Insert(7+512, Modified, false)
+	if !v.Valid || v.Block != 7+256 {
+		t.Fatalf("victim = %+v, want LRU block %d", v, 7+256)
+	}
+}
+
+func TestAssocStoreLRUOrder(t *testing.T) {
+	c := NewAssocStore(32*4, 4) // one set, 4 ways
+	for b := mem.Block(0); b < 4; b++ {
+		c.Insert(b, Shared, false)
+	}
+	// Touch 0,1,2: block 3 becomes LRU.
+	c.Lookup(0)
+	c.Lookup(1)
+	c.Lookup(2)
+	if v := c.Insert(100, Shared, false); !v.Valid || v.Block != 3 {
+		t.Fatalf("victim = %+v, want block 3", v)
+	}
+}
+
+func TestAssocMatchesDirectWhenOneWay(t *testing.T) {
+	// With ways=1 the associative store must behave exactly like the
+	// direct-mapped store.
+	f := func(raw []uint16) bool {
+		a := NewAssocStore(16384, 1)
+		d := NewDirectStore(16384)
+		for _, r := range raw {
+			b := mem.Block(r % 2048) // includes conflicts
+			switch r % 4 {
+			case 0:
+				va := a.Insert(b, Shared, r%8 == 0)
+				vd := d.Insert(b, Shared, r%8 == 0)
+				if va != vd {
+					return false
+				}
+			case 1:
+				la, oka := a.Lookup(b)
+				ld, okd := d.Lookup(b)
+				if oka != okd || la != ld {
+					return false
+				}
+			case 2:
+				la, oka := a.Invalidate(b)
+				ld, okd := d.Invalidate(b)
+				if oka != okd || la != ld {
+					return false
+				}
+			case 3:
+				if a.ClearPrefetched(b) != d.ClearPrefetched(b) {
+					return false
+				}
+			}
+		}
+		return a.PrefetchedCount() == d.PrefetchedCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewAssocStorePanicsOnBadGeometry(t *testing.T) {
+	mustPanic(t, "zero ways", func() { NewAssocStore(16384, 0) })
+	mustPanic(t, "non-power-of-two sets", func() { NewAssocStore(96, 1) })
+}

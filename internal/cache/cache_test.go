@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/sim"
+)
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("State.String broken")
+	}
+	if State(9).String() != "?" {
+		t.Fatal("unknown State.String broken")
+	}
+}
+
+func TestFLCBasic(t *testing.T) {
+	c := NewFLC(4096) // 128 sets
+	if c.Lookup(5) {
+		t.Fatal("empty FLC reported a hit")
+	}
+	c.Fill(5)
+	if !c.Lookup(5) {
+		t.Fatal("filled block missing")
+	}
+	c.Invalidate(5)
+	if c.Lookup(5) {
+		t.Fatal("invalidated block still present")
+	}
+}
+
+func TestFLCDirectMappedConflict(t *testing.T) {
+	c := NewFLC(4096)
+	c.Fill(3)
+	c.Fill(3 + 128) // same set
+	if c.Lookup(3) {
+		t.Fatal("conflicting fill did not evict")
+	}
+	if !c.Lookup(3 + 128) {
+		t.Fatal("newly filled block missing")
+	}
+}
+
+func TestFLCInvalidateWrongBlockIsNoop(t *testing.T) {
+	c := NewFLC(4096)
+	c.Fill(3)
+	c.Invalidate(3 + 128) // same set, different tag
+	if !c.Lookup(3) {
+		t.Fatal("invalidate of a different tag removed resident block")
+	}
+}
+
+func TestNewFLCPanicsOnBadSize(t *testing.T) {
+	mustPanic(t, "non-power-of-two", func() { NewFLC(3000) })
+	mustPanic(t, "zero", func() { NewFLC(0) })
+}
+
+// storeTest exercises the Store contract shared by both implementations.
+func storeTest(t *testing.T, name string, c Store) {
+	t.Helper()
+	if _, ok := c.Lookup(10); ok {
+		t.Fatalf("%s: empty store reported a hit", name)
+	}
+	c.Insert(10, Shared, false)
+	if l, ok := c.Lookup(10); !ok || l.State != Shared || l.Prefetched {
+		t.Fatalf("%s: inserted line = %+v, present=%v", name, l, ok)
+	}
+	c.SetState(10, Modified)
+	if l, _ := c.Lookup(10); l.State != Modified {
+		t.Fatalf("%s: SetState did not apply", name)
+	}
+	c.SetState(999, Shared) // absent: must be a no-op, not a panic
+	if _, ok := c.Lookup(999); ok {
+		t.Fatalf("%s: SetState materialized an absent line", name)
+	}
+
+	// Prefetched tag lifecycle.
+	c.Insert(20, Shared, true)
+	if c.PrefetchedCount() != 1 {
+		t.Fatalf("%s: PrefetchedCount = %d, want 1", name, c.PrefetchedCount())
+	}
+	if !c.ClearPrefetched(20) {
+		t.Fatalf("%s: ClearPrefetched missed set tag", name)
+	}
+	if c.ClearPrefetched(20) {
+		t.Fatalf("%s: ClearPrefetched double-counted", name)
+	}
+	if c.PrefetchedCount() != 0 {
+		t.Fatalf("%s: PrefetchedCount = %d after clear", name, c.PrefetchedCount())
+	}
+
+	// Invalidation returns the line and drops the prefetch count.
+	c.Insert(30, Shared, true)
+	l, ok := c.Invalidate(30)
+	if !ok || !l.Prefetched {
+		t.Fatalf("%s: Invalidate returned %+v, %v", name, l, ok)
+	}
+	if c.PrefetchedCount() != 0 {
+		t.Fatalf("%s: prefetch count leaked on invalidate", name)
+	}
+	if _, ok := c.Invalidate(30); ok {
+		t.Fatalf("%s: double invalidate reported presence", name)
+	}
+
+	// Re-insert over an existing prefetched line must not leak the count.
+	c.Insert(40, Shared, true)
+	c.Insert(40, Modified, false)
+	if c.PrefetchedCount() != 0 {
+		t.Fatalf("%s: overwrite leaked prefetch count", name)
+	}
+	if l, _ := c.Lookup(40); l.State != Modified {
+		t.Fatalf("%s: overwrite did not update state", name)
+	}
+}
+
+func TestInfiniteStoreContract(t *testing.T) { storeTest(t, "infinite", NewInfiniteStore()) }
+func TestDirectStoreContract(t *testing.T)   { storeTest(t, "direct", NewDirectStore(16384)) }
+
+func TestInfiniteStoreNeverEvicts(t *testing.T) {
+	c := NewInfiniteStore()
+	for i := 0; i < 100000; i++ {
+		if v := c.Insert(mem.Block(i), Shared, false); v.Valid {
+			t.Fatal("infinite store evicted")
+		}
+	}
+	for i := 0; i < 100000; i += 9999 {
+		if _, ok := c.Lookup(mem.Block(i)); !ok {
+			t.Fatalf("block %d lost", i)
+		}
+	}
+}
+
+func TestDirectStoreEvicts(t *testing.T) {
+	c := NewDirectStore(16384) // 512 sets
+	c.Insert(7, Modified, false)
+	v := c.Insert(7+512, Shared, false)
+	if !v.Valid || v.Block != 7 || v.Line.State != Modified {
+		t.Fatalf("victim = %+v, want block 7 in M", v)
+	}
+	if _, ok := c.Lookup(7); ok {
+		t.Fatal("victim still resident")
+	}
+}
+
+func TestDirectStoreEvictionDropsPrefetchCount(t *testing.T) {
+	c := NewDirectStore(16384)
+	c.Insert(7, Shared, true)
+	v := c.Insert(7+512, Shared, false)
+	if !v.Valid || !v.Line.Prefetched {
+		t.Fatalf("victim should carry the prefetched tag: %+v", v)
+	}
+	if c.PrefetchedCount() != 0 {
+		t.Fatal("prefetch count leaked on eviction")
+	}
+}
+
+func TestDirectStoreSameBlockReinsertNoVictim(t *testing.T) {
+	c := NewDirectStore(16384)
+	c.Insert(7, Shared, false)
+	if v := c.Insert(7, Modified, false); v.Valid {
+		t.Fatalf("re-insert of same block produced victim %+v", v)
+	}
+}
+
+func TestStoresAgreeOnRandomWorkload(t *testing.T) {
+	// With a working set smaller than the finite cache and no set
+	// conflicts (addresses within one set-span), the two stores must
+	// behave identically.
+	f := func(opsRaw []uint16) bool {
+		inf, dir := NewInfiniteStore(), NewDirectStore(16384) // 512 sets
+		for _, raw := range opsRaw {
+			b := mem.Block(raw % 512) // unique sets, no conflicts
+			op := raw % 5
+			switch op {
+			case 0:
+				inf.Insert(b, Shared, false)
+				dir.Insert(b, Shared, false)
+			case 1:
+				inf.Insert(b, Modified, true)
+				dir.Insert(b, Modified, true)
+			case 2:
+				inf.Invalidate(b)
+				dir.Invalidate(b)
+			case 3:
+				if inf.ClearPrefetched(b) != dir.ClearPrefetched(b) {
+					return false
+				}
+			case 4:
+				li, oki := inf.Lookup(b)
+				ld, okd := dir.Lookup(b)
+				if oki != okd || li != ld {
+					return false
+				}
+			}
+		}
+		return inf.PrefetchedCount() == dir.PrefetchedCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBufferAdmitsWhenSpace(t *testing.T) {
+	w := NewWriteBuffer(2)
+	if at := w.AdmitAt(10); at != 10 {
+		t.Fatalf("AdmitAt = %d, want 10", at)
+	}
+	w.Add(20)
+	w.Add(25)
+	if at := w.AdmitAt(12); at != 20 {
+		t.Fatalf("full buffer AdmitAt = %d, want 20 (oldest completion)", at)
+	}
+	// After the oldest completes, admission is immediate.
+	if at := w.AdmitAt(21); at != 21 {
+		t.Fatalf("AdmitAt after drain = %d, want 21", at)
+	}
+}
+
+func TestWriteBufferTailOrdersReads(t *testing.T) {
+	w := NewWriteBuffer(8)
+	w.Add(100)
+	w.Add(130)
+	if w.Tail() != 130 {
+		t.Fatalf("Tail = %d, want 130", w.Tail())
+	}
+}
+
+func TestWriteBufferOccupancy(t *testing.T) {
+	w := NewWriteBuffer(8)
+	w.Add(10)
+	w.Add(20)
+	w.Add(30)
+	if got := w.Occupancy(5); got != 3 {
+		t.Fatalf("Occupancy(5) = %d, want 3", got)
+	}
+	if got := w.Occupancy(20); got != 1 {
+		t.Fatalf("Occupancy(20) = %d, want 1", got)
+	}
+	if got := w.Occupancy(100); got != 0 {
+		t.Fatalf("Occupancy(100) = %d, want 0", got)
+	}
+}
+
+func TestWriteBufferNeverExceedsCapacity(t *testing.T) {
+	f := func(delays []uint8) bool {
+		w := NewWriteBuffer(4)
+		var t0 sim.Time
+		for _, d := range delays {
+			t0 += sim.Time(d % 8)
+			at := w.AdmitAt(t0)
+			if at < t0 {
+				return false
+			}
+			w.Add(at + 3)
+			if w.Occupancy(at) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWriteBufferPanicsOnBadCapacity(t *testing.T) {
+	mustPanic(t, "zero capacity", func() { NewWriteBuffer(0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: did not panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,145 @@
+// Package coherence implements the full-map directory state of the
+// write-invalidate protocol (after Censier and Feautrier, paper §4).
+// Each memory block's home node keeps a presence bit per processing
+// node plus a dirty indication. The machine drives the protocol; this
+// package owns the state, the presence bookkeeping, and the per-block
+// transaction serialization queue that stands in for a real protocol's
+// transient states (see DESIGN.md).
+package coherence
+
+import "prefetchsim/internal/mem"
+
+// EntryState is the directory's view of a block.
+type EntryState uint8
+
+const (
+	// Uncached: memory holds the only copy.
+	Uncached EntryState = iota
+	// SharedClean: memory is valid; one or more caches hold copies.
+	SharedClean
+	// Dirty: exactly one cache holds a modified copy; memory is stale.
+	Dirty
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case Uncached:
+		return "Uncached"
+	case SharedClean:
+		return "Shared"
+	case Dirty:
+		return "Dirty"
+	}
+	return "?"
+}
+
+// Entry is the directory record of one block.
+type Entry struct {
+	State   EntryState
+	sharers uint64 // presence bit vector (full map)
+	Owner   int    // valid when State == Dirty
+
+	busy    bool
+	waiters []func()
+}
+
+// Directory holds entries for every block ever referenced. Blocks not
+// present are Uncached; entries materialize on first use.
+type Directory struct {
+	nodes   int
+	entries map[mem.Block]*Entry
+}
+
+// New returns a directory for a machine of nodes processing nodes
+// (nodes <= 64).
+func New(nodes int) *Directory {
+	if nodes <= 0 || nodes > 64 {
+		panic("coherence: node count must be in 1..64")
+	}
+	return &Directory{nodes: nodes, entries: make(map[mem.Block]*Entry, 1<<16)}
+}
+
+// Entry returns the directory entry for b, materializing an Uncached
+// entry on first reference.
+func (d *Directory) Entry(b mem.Block) *Entry {
+	e, ok := d.entries[b]
+	if !ok {
+		e = &Entry{}
+		d.entries[b] = e
+	}
+	return e
+}
+
+// Peek returns the entry for b without materializing one.
+func (d *Directory) Peek(b mem.Block) (*Entry, bool) {
+	e, ok := d.entries[b]
+	return e, ok
+}
+
+// AddSharer sets node n's presence bit.
+func (e *Entry) AddSharer(n int) { e.sharers |= 1 << uint(n) }
+
+// RemoveSharer clears node n's presence bit.
+func (e *Entry) RemoveSharer(n int) { e.sharers &^= 1 << uint(n) }
+
+// IsSharer reports whether node n's presence bit is set.
+func (e *Entry) IsSharer(n int) bool { return e.sharers&(1<<uint(n)) != 0 }
+
+// ClearSharers drops all presence bits.
+func (e *Entry) ClearSharers() { e.sharers = 0 }
+
+// Sharers returns the nodes with presence bits set, in ascending order
+// (deterministic iteration matters for reproducibility).
+func (e *Entry) Sharers() []int {
+	if e.sharers == 0 {
+		return nil
+	}
+	out := make([]int, 0, 4)
+	for v, n := e.sharers, 0; v != 0; v, n = v>>1, n+1 {
+		if v&1 != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SharerCount returns the number of presence bits set.
+func (e *Entry) SharerCount() int {
+	c := 0
+	for v := e.sharers; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+// Acquire begins a transaction on the entry. If the entry is free it is
+// marked busy and Acquire reports true: the caller proceeds
+// immediately. Otherwise the continuation is queued and run (with the
+// entry busy on its behalf) when the current transaction releases.
+func (e *Entry) Acquire(cont func()) bool {
+	if !e.busy {
+		e.busy = true
+		return true
+	}
+	e.waiters = append(e.waiters, cont)
+	return false
+}
+
+// Release ends the current transaction. If transactions are queued the
+// next one starts immediately (the entry stays busy and its
+// continuation runs); otherwise the entry becomes free.
+func (e *Entry) Release() {
+	if !e.busy {
+		panic("coherence: Release of a non-busy entry")
+	}
+	if len(e.waiters) == 0 {
+		e.busy = false
+		return
+	}
+	next := e.waiters[0]
+	e.waiters = e.waiters[1:]
+	next()
+}
+
+// Busy reports whether a transaction is in flight for the entry.
+func (e *Entry) Busy() bool { return e.busy }

@@ -1,0 +1,128 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryMaterializesUncached(t *testing.T) {
+	d := New(16)
+	e := d.Entry(42)
+	if e.State != Uncached || e.SharerCount() != 0 {
+		t.Fatalf("fresh entry = %v with %d sharers", e.State, e.SharerCount())
+	}
+	if _, ok := d.Peek(42); !ok {
+		t.Fatal("Entry did not materialize")
+	}
+	if _, ok := d.Peek(43); ok {
+		t.Fatal("Peek materialized an entry")
+	}
+}
+
+func TestSharerBookkeeping(t *testing.T) {
+	e := &Entry{}
+	e.AddSharer(3)
+	e.AddSharer(0)
+	e.AddSharer(15)
+	e.AddSharer(3) // idempotent
+	if e.SharerCount() != 3 {
+		t.Fatalf("SharerCount = %d, want 3", e.SharerCount())
+	}
+	got := e.Sharers()
+	want := []int{0, 3, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sharers() = %v, want %v (ascending)", got, want)
+		}
+	}
+	if !e.IsSharer(3) || e.IsSharer(7) {
+		t.Fatal("IsSharer wrong")
+	}
+	e.RemoveSharer(3)
+	if e.IsSharer(3) || e.SharerCount() != 2 {
+		t.Fatal("RemoveSharer wrong")
+	}
+	e.ClearSharers()
+	if e.SharerCount() != 0 || e.Sharers() != nil {
+		t.Fatal("ClearSharers wrong")
+	}
+}
+
+func TestSharerCountMatchesList(t *testing.T) {
+	f := func(bits uint16) bool {
+		e := &Entry{}
+		for n := 0; n < 16; n++ {
+			if bits&(1<<n) != 0 {
+				e.AddSharer(n)
+			}
+		}
+		return e.SharerCount() == len(e.Sharers())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireReleaseSerializes(t *testing.T) {
+	e := &Entry{}
+	var order []int
+	if !e.Acquire(func() { t.Fatal("first Acquire must not queue") }) {
+		t.Fatal("first Acquire did not proceed")
+	}
+	order = append(order, 1)
+	if e.Acquire(func() { order = append(order, 2) }) {
+		t.Fatal("second Acquire proceeded on busy entry")
+	}
+	if e.Acquire(func() { order = append(order, 3) }) {
+		t.Fatal("third Acquire proceeded on busy entry")
+	}
+	e.Release() // runs waiter 2
+	e.Release() // runs waiter 3
+	e.Release() // frees
+	if e.Busy() {
+		t.Fatal("entry still busy after final release")
+	}
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("waiters ran out of order: %v", order)
+	}
+}
+
+func TestReleaseKeepsEntryBusyForWaiter(t *testing.T) {
+	e := &Entry{}
+	e.Acquire(nil)
+	busyDuringWaiter := false
+	e.Acquire(func() { busyDuringWaiter = e.Busy() })
+	e.Release()
+	if !busyDuringWaiter {
+		t.Fatal("waiter ran with entry not busy")
+	}
+}
+
+func TestReleaseNonBusyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of free entry did not panic")
+		}
+	}()
+	(&Entry{}).Release()
+}
+
+func TestNewValidatesNodeCount(t *testing.T) {
+	for _, bad := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestEntryStateString(t *testing.T) {
+	if Uncached.String() != "Uncached" || SharedClean.String() != "Shared" ||
+		Dirty.String() != "Dirty" || EntryState(9).String() != "?" {
+		t.Fatal("EntryState.String broken")
+	}
+}

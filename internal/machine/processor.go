@@ -1,0 +1,285 @@
+package machine
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/cache"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/prefetch"
+	"prefetchsim/internal/sim"
+	"prefetchsim/internal/trace"
+)
+
+// stepNode is the processor's fetch-execute loop. Operations that hit
+// the FLC or are buffered (writes) execute inline; the loop is bounded
+// by the engine's next pending event so local batching never violates
+// causality (an invalidation scheduled for t must be applied before this
+// node reads at t' > t). Blocking operations return from the loop; their
+// completion callbacks reschedule it.
+func (m *Machine) stepNode(n *node) {
+	if n.done {
+		return
+	}
+	for {
+		op := n.nextOp()
+		// Apply the think gap, then make sure no pending event (an
+		// invalidation, another node's transaction) is scheduled before
+		// this op would execute; if one is, stash the op and resume at
+		// the op's own time.
+		n.time += sim.Time(op.Gap)
+		if next, ok := m.eng.NextTime(); ok && n.time > next {
+			op.Gap = 0
+			n.stash = &op
+			m.scheduleStep(n)
+			return
+		}
+		switch op.Kind {
+		case trace.Read:
+			if !m.doRead(n, op) {
+				return // blocked; fill callback resumes
+			}
+		case trace.Write:
+			if !m.doWrite(n, op) {
+				return // sequential consistency: blocked until performed
+			}
+		case trace.Acquire:
+			m.doAcquire(n, op.Addr)
+			return
+		case trace.Release:
+			if !m.doRelease(n, op.Addr) {
+				return // waiting for write drain
+			}
+		case trace.Barrier:
+			m.doBarrier(n, op.Addr)
+			return
+		case trace.End:
+			n.done = true
+			n.st.ExecTime = n.time
+			return
+		default:
+			panic(fmt.Sprintf("machine: node %d: unknown op kind %v", n.id, op.Kind))
+		}
+	}
+}
+
+// nextOp returns the stashed op, if any, or the next op in the stream.
+func (n *node) nextOp() trace.Op {
+	if n.stash != nil {
+		op := *n.stash
+		n.stash = nil
+		return op
+	}
+	return n.stream.Next()
+}
+
+// doRead executes one load. It returns true if the processor can
+// continue (FLC or SLC hit) and false if it blocked on a miss.
+func (m *Machine) doRead(n *node, op trace.Op) bool {
+	n.st.Reads++
+	addr := mem.Addr(op.Addr)
+	b := mem.BlockOf(addr)
+	issue := n.time
+
+	if n.flc.Lookup(b) {
+		n.st.FLCReadHits++
+		n.time = issue + FLCHit
+		return true
+	}
+
+	// FLC miss: the request is FIFO-ordered behind writes buffered in
+	// the FLWB (paper §2), then accesses the SLC.
+	reqAt := issue + FLCHit
+	if tail := n.flwb.Tail(); tail > reqAt {
+		reqAt = tail
+	}
+	slcStart := n.slcRes.Acquire(reqAt, SLCCycle)
+
+	line, present := n.slc.Lookup(b)
+	consumed := false
+	if present && line.Prefetched {
+		n.slc.ClearPrefetched(b)
+		n.st.PrefetchesUseful++
+		consumed = true
+	}
+
+	// Every read presented to the SLC is visible to the prefetch
+	// mechanism (§3.2); proposals issue after the current access. A
+	// block whose prefetch is still in flight is reported as merged.
+	merged := false
+	if tx, ok := n.pending[b]; ok && tx.kind == txRead && tx.prefetch {
+		merged = true
+	}
+	m.firePrefetcher(n, op.PC, addr, b, present, consumed, merged, slcStart+SLCCycle)
+
+	if present {
+		n.st.SLCReadHits++
+		n.flc.Fill(b)
+		done := slcStart + SLCHitExtra
+		n.st.ReadStall += done - issue - FLCHit
+		n.time = done
+		return true
+	}
+
+	// SLC miss.
+	resume := func(t sim.Time) {
+		n.st.ReadStall += t - issue - FLCHit
+		n.time = t
+		m.scheduleStep(n)
+	}
+
+	if tx, ok := n.pending[b]; ok {
+		// The block is already in flight; the read merges with the
+		// outstanding SLWB entry rather than issuing a new request.
+		if tx.prefetch && !tx.demand {
+			// A prefetch beat the processor to the request: a delayed
+			// hit, not a read miss — the prefetch removed the miss but
+			// not (yet) all of its latency. The residual wait shows up
+			// in the read stall time, as in the paper's Figure 6.
+			n.st.PrefetchesMerged++
+			n.st.PrefetchesUseful++
+			n.st.DelayedHits++
+		} else {
+			// Merging with an ownership acquisition or another demand
+			// request: still a read miss.
+			n.st.ReadMisses++
+			m.classifyMiss(n, b)
+			if m.cfg.MissObserver != nil {
+				m.cfg.MissObserver(n.id, op.PC, addr)
+			}
+		}
+		tx.demand = true
+		tx.resume = resume
+		return false
+	}
+	n.st.ReadMisses++
+	m.classifyMiss(n, b)
+	if m.cfg.MissObserver != nil {
+		m.cfg.MissObserver(n.id, op.PC, addr)
+	}
+	missAt := slcStart + SLCCycle
+	if cbs, ok := n.wbPending[b]; ok {
+		// The node is writing this very block back; wait for the ack so
+		// the directory never sees us as both owner and requester. A
+		// write deferred behind the same writeback may have started a
+		// transaction by the time the ack arrives: merge with it.
+		n.wbPending[b] = append(cbs, func(t sim.Time) {
+			if tx, ok := n.pending[b]; ok {
+				tx.demand = true
+				tx.resume = resume
+				return
+			}
+			m.startReadTx(n, b, false, t, resume)
+		})
+		return false
+	}
+	m.startReadTx(n, b, false, missAt, resume)
+	return false
+}
+
+// firePrefetcher lets the node's prefetch engine observe an SLC read and
+// issues the proposals that survive filtering: same page (§2, no
+// prefetching across page boundaries), not cached, not already in
+// flight, and an SLWB slot available (otherwise the prefetch is
+// dropped).
+func (m *Machine) firePrefetcher(n *node, pc trace.PC, addr mem.Addr, b mem.Block, hit, consumed, merged bool, t sim.Time) {
+	n.pf.OnRead(prefetch.Request{
+		PC: pc, Addr: addr, Block: b, Hit: hit, TagConsumed: consumed, Merged: merged,
+	}, func(pb mem.Block) {
+		if !mem.SamePage(b, pb) || pb == b {
+			return
+		}
+		if _, ok := n.slc.Lookup(pb); ok {
+			return
+		}
+		if _, ok := n.pending[pb]; ok {
+			return
+		}
+		if _, ok := n.wbPending[pb]; ok {
+			return
+		}
+		if !m.trySLWB(n) {
+			return
+		}
+		n.st.PrefetchesIssued++
+		m.sendReadTx(n, pb, true, t, nil)
+	})
+}
+
+// doWrite executes one store and reports whether the processor may
+// continue. Under release consistency writes are buffered and the
+// processor only stalls when the FLWB is full; under sequential
+// consistency it additionally blocks until the write is globally
+// performed.
+func (m *Machine) doWrite(n *node, op trace.Op) bool {
+	n.st.Writes++
+	b := mem.BlockOf(mem.Addr(op.Addr))
+	issue := n.time
+
+	admit := n.flwb.AdmitAt(issue)
+	if admit > issue {
+		n.st.WriteStall += admit - issue
+	}
+	n.time = admit + 1
+
+	// The write drains from the FLWB through the SLC (write-through FLC,
+	// no allocation on FLC write misses: FLC presence is unchanged).
+	slcStart := n.slcRes.Acquire(admit+1, SLCCycle)
+	completion := slcStart + SLCCycle
+	n.flwb.Add(completion)
+
+	line, present := n.slc.Lookup(b)
+	if present && line.Prefetched {
+		// A store consumes the prefetched block too.
+		n.slc.ClearPrefetched(b)
+		n.st.PrefetchesUseful++
+	}
+	if present && line.State == cache.Modified {
+		// Exclusive: the write performs locally.
+		if m.cfg.SequentialConsistency && completion > n.time {
+			n.st.WriteStall += completion - n.time
+			n.time = completion
+		}
+		return true
+	}
+
+	// Ownership is needed: the write completes (for release
+	// consistency) when the directory grants it.
+	n.outWrites++
+	if tx, ok := n.pending[b]; ok {
+		tx.writeRefs++
+		if tx.kind == txRead {
+			tx.wantWrite = true
+		}
+	} else if _, ok := n.wbPending[b]; ok {
+		// Another operation deferred behind the same writeback may have
+		// started a transaction by ack time: merge onto it.
+		n.wbPending[b] = append(n.wbPending[b], func(t sim.Time) {
+			if tx, ok := n.pending[b]; ok {
+				tx.writeRefs++
+				if tx.kind == txRead {
+					tx.wantWrite = true
+				}
+				return
+			}
+			m.startWriteTx(n, b, t, 1)
+		})
+	} else {
+		m.startWriteTx(n, b, completion, 1)
+	}
+
+	if m.cfg.SequentialConsistency {
+		// Block until the write is globally performed (all outstanding
+		// writes drained — under SC there is only ever this one).
+		issue := n.time
+		if n.drainWait != nil {
+			panic("machine: overlapping drain waits under SC")
+		}
+		n.drainWait = func(t sim.Time) {
+			n.st.WriteStall += t - issue
+			n.time = t + 1
+			m.scheduleStep(n)
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,377 @@
+package machine
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/cache"
+	"prefetchsim/internal/coherence"
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/network"
+	"prefetchsim/internal/sim"
+)
+
+// This file implements the write-invalidate full-map directory protocol
+// (paper §4, after Censier and Feautrier): a read miss is serviced by
+// the home memory in zero or two node-to-node traversals when the
+// memory copy is clean, and in four traversals when a remote cache
+// holds a modified copy. Writes invalidate sharers and collect acks at
+// the home. Directory entries serialize transactions per block (see
+// DESIGN.md), which stands in for the transient states of a real
+// implementation.
+
+// startReadTx registers the transaction (so later operations on the
+// block merge with it instead of duplicating it), acquires an SLWB slot
+// — demand reads wait for one; the prefetch path reserves its slot
+// beforehand via trySLWB — and launches the read.
+func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, resume func(sim.Time)) {
+	tx := &pendingTx{kind: txRead, prefetch: isPrefetch, demand: resume != nil, resume: resume}
+	n.pending[b] = tx
+	m.allocSLWB(n, t, func(t2 sim.Time) {
+		m.dispatchReadTx(n, b, tx, t2)
+	})
+}
+
+// sendReadTx launches a read transaction whose SLWB slot is already
+// held.
+func (m *Machine) sendReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, resume func(sim.Time)) {
+	tx := &pendingTx{kind: txRead, prefetch: isPrefetch, demand: resume != nil, resume: resume}
+	n.pending[b] = tx
+	m.dispatchReadTx(n, b, tx, t)
+}
+
+func (m *Machine) dispatchReadTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
+	home := m.home(b)
+	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
+	m.eng.At(arrive, func() { m.homeRead(home, n, b, tx) })
+}
+
+// homeRead services a read request at the block's home node.
+func (m *Machine) homeRead(home int, n *node, b mem.Block, tx *pendingTx) {
+	e := m.dir.Entry(b)
+	run := func() {
+		t := m.eng.Now()
+		switch e.State {
+		case coherence.Uncached, coherence.SharedClean:
+			// Memory responds directly (0 or 2 traversals).
+			done := m.mems[home].Access(t)
+			e.State = coherence.SharedClean
+			e.AddSharer(n.id)
+			arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
+			m.eng.At(arrive, func() { m.finishReadFill(n, b, tx, e) })
+
+		case coherence.Dirty:
+			owner := e.Owner
+			if owner == n.id {
+				panic(fmt.Sprintf("machine: node %d read-misses a block the directory says it owns", n.id))
+			}
+			// Four traversals: home asks the owner for a fresh copy,
+			// memory is updated, then the requester is answered.
+			ctrl := m.mems[home].Control(t)
+			fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
+			m.eng.At(fwd, func() {
+				own := m.nodes[owner]
+				supplyAt, hadCopy := m.ownerDowngrade(own, b)
+				wbArrive := m.mesh.Send(network.ReplyPlane, owner, home, network.DataFlits, supplyAt)
+				m.eng.At(wbArrive, func() {
+					done := m.mems[home].Access(m.eng.Now())
+					e.State = coherence.SharedClean
+					e.ClearSharers()
+					if hadCopy {
+						e.AddSharer(owner)
+					}
+					e.AddSharer(n.id)
+					arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
+					m.eng.At(arrive, func() { m.finishReadFill(n, b, tx, e) })
+				})
+			})
+		}
+	}
+	if e.Acquire(run) {
+		run()
+	}
+}
+
+// ownerDowngrade makes the owning node supply a modified block and keep
+// a shared copy. If the owner evicted the block meanwhile (writeback in
+// flight), the data comes from its victim buffer and it keeps nothing.
+// It returns the supply time and whether the owner retains a copy.
+func (m *Machine) ownerDowngrade(own *node, b mem.Block) (sim.Time, bool) {
+	t := own.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
+	if line, ok := own.slc.Lookup(b); ok {
+		if line.State != cache.Modified {
+			panic(fmt.Sprintf("machine: forward to node %d for block it holds in %v", own.id, line.State))
+		}
+		own.slc.SetState(b, cache.Shared)
+		return t, true
+	}
+	if _, ok := own.wbPending[b]; !ok {
+		panic(fmt.Sprintf("machine: forward to node %d for absent block %d with no writeback in flight", own.id, b))
+	}
+	return t, false
+}
+
+// ownerInvalidate makes the owning node supply a modified block and
+// invalidate it (a write by another node). Returns the supply time.
+func (m *Machine) ownerInvalidate(own *node, b mem.Block) sim.Time {
+	t := own.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
+	if line, ok := own.slc.Invalidate(b); ok {
+		if line.State != cache.Modified {
+			panic(fmt.Sprintf("machine: owner-invalidate at node %d for %v block", own.id, line.State))
+		}
+		own.flc.Invalidate(b)
+		own.hist[b] |= hInv
+		own.st.InvalidationsReceived++
+		return t
+	}
+	if _, ok := own.wbPending[b]; !ok {
+		panic(fmt.Sprintf("machine: owner-invalidate at node %d for absent block %d with no writeback in flight", own.id, b))
+	}
+	return t
+}
+
+// finishReadFill completes a read transaction at the requester: the
+// block is installed in the SLC (tagged if it was a pure prefetch), the
+// FLC is filled for demand reads, and the processor resumes. The
+// directory entry stays busy until the fill is applied, so no later
+// transaction can observe the requester in a transitional state (the
+// implicit completion ack of a real protocol).
+func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coherence.Entry) {
+	t := m.eng.Now()
+	slcStart := n.slcRes.Acquire(t, SLCCycle)
+	done := slcStart + SLCCycle
+
+	tag := tx.prefetch && !tx.demand && !tx.invalidated
+	victim := n.slc.Insert(b, cache.Shared, tag)
+	m.handleVictim(n, victim, done)
+	n.hist[b] = (n.hist[b] | hTouched) &^ (hInv | hRepl)
+
+	if tx.invalidated {
+		// An invalidation raced ahead of the data: the value is
+		// delivered to the processor once but the block is not cached.
+		n.slc.Invalidate(b)
+		n.flc.Invalidate(b)
+		n.hist[b] |= hInv
+	}
+	if tx.demand {
+		if !tx.invalidated {
+			n.flc.Fill(b)
+		}
+		tx.resume(done + FLCFillForward)
+	}
+	delete(n.pending, b)
+	e.Release()
+
+	if tx.wantWrite {
+		// Writes merged onto this read; acquire ownership now, reusing
+		// the SLWB slot.
+		m.sendWriteTx(n, b, done, tx.writeRefs)
+		return
+	}
+	m.freeSLWB(n)
+}
+
+// startWriteTx registers the ownership transaction immediately (so
+// later writes to the block merge onto it even while it waits for an
+// SLWB slot), then acquires the slot and dispatches.
+func (m *Machine) startWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
+	tx := &pendingTx{kind: txWrite, writeRefs: refs}
+	n.pending[b] = tx
+	m.allocSLWB(n, t, func(t2 sim.Time) {
+		m.dispatchWriteTx(n, b, tx, t2)
+	})
+}
+
+// sendWriteTx launches an ownership transaction whose SLWB slot is
+// already held (a write merged onto a completed read reuses its slot).
+func (m *Machine) sendWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
+	tx := &pendingTx{kind: txWrite, writeRefs: refs}
+	n.pending[b] = tx
+	m.dispatchWriteTx(n, b, tx, t)
+}
+
+func (m *Machine) dispatchWriteTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
+	home := m.home(b)
+	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
+	m.eng.At(arrive, func() { m.homeWrite(home, n, b, tx) })
+}
+
+// homeWrite services an ownership request (upgrade or read-exclusive).
+func (m *Machine) homeWrite(home int, n *node, b mem.Block, tx *pendingTx) {
+	e := m.dir.Entry(b)
+	run := func() {
+		t := m.eng.Now()
+		grant := func(done sim.Time, withData bool) {
+			e.State = coherence.Dirty
+			e.Owner = n.id
+			e.ClearSharers()
+			flits := network.CtrlFlits
+			if withData {
+				flits = network.DataFlits
+			}
+			arrive := m.mesh.Send(network.ReplyPlane, home, n.id, flits, done)
+			m.eng.At(arrive, func() { m.finishWriteGrant(n, b, tx, e) })
+		}
+
+		switch e.State {
+		case coherence.Uncached:
+			grant(m.mems[home].Access(t), true)
+
+		case coherence.SharedClean:
+			wasSharer := e.IsSharer(n.id)
+			var targets []int
+			for _, s := range e.Sharers() {
+				if s != n.id {
+					targets = append(targets, s)
+				}
+			}
+			if len(targets) == 0 {
+				if wasSharer {
+					grant(m.mems[home].Control(t), false)
+				} else {
+					grant(m.mems[home].Access(t), true)
+				}
+				return
+			}
+			// Invalidate every other sharer; collect acks at home.
+			ctrl := m.mems[home].Control(t)
+			remaining := len(targets)
+			for _, s := range targets {
+				s := s
+				invArrive := m.mesh.Send(network.ReqPlane, home, s, network.CtrlFlits, ctrl)
+				m.eng.At(invArrive, func() {
+					ackAt := m.applyInv(m.nodes[s], b)
+					ackArrive := m.mesh.Send(network.ReplyPlane, s, home, network.CtrlFlits, ackAt)
+					m.eng.At(ackArrive, func() {
+						remaining--
+						if remaining > 0 {
+							return
+						}
+						if wasSharer {
+							grant(m.mems[home].Control(m.eng.Now()), false)
+						} else {
+							grant(m.mems[home].Access(m.eng.Now()), true)
+						}
+					})
+				})
+			}
+
+		case coherence.Dirty:
+			owner := e.Owner
+			if owner == n.id {
+				panic(fmt.Sprintf("machine: node %d write-misses a block the directory says it owns", n.id))
+			}
+			ctrl := m.mems[home].Control(t)
+			fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
+			m.eng.At(fwd, func() {
+				supplyAt := m.ownerInvalidate(m.nodes[owner], b)
+				dataArrive := m.mesh.Send(network.ReplyPlane, owner, home, network.DataFlits, supplyAt)
+				m.eng.At(dataArrive, func() {
+					grant(m.mems[home].Access(m.eng.Now()), true)
+				})
+			})
+		}
+	}
+	if e.Acquire(run) {
+		run()
+	}
+}
+
+// finishWriteGrant completes an ownership transaction at the requester.
+// As with read fills, the directory entry is released only once the
+// grant is applied.
+func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coherence.Entry) {
+	t := m.eng.Now()
+	slcStart := n.slcRes.Acquire(t, SLCCycle)
+	done := slcStart + SLCCycle
+
+	victim := n.slc.Insert(b, cache.Modified, false)
+	m.handleVictim(n, victim, done)
+	n.hist[b] = (n.hist[b] | hTouched) &^ (hInv | hRepl)
+
+	if tx.demand {
+		// A read merged onto this ownership transaction.
+		n.flc.Fill(b)
+		tx.resume(done + FLCFillForward)
+	}
+	delete(n.pending, b)
+	e.Release()
+	m.freeSLWB(n)
+
+	n.outWrites -= tx.writeRefs
+	if n.outWrites < 0 {
+		panic("machine: outstanding-write underflow")
+	}
+	if n.outWrites == 0 && n.drainWait != nil {
+		w := n.drainWait
+		n.drainWait = nil
+		w(done)
+	}
+}
+
+// applyInv applies an invalidation at a sharer node and returns the ack
+// time. If the block's data is still in flight to this node, the fill
+// is marked so the block is consumed once but not cached.
+func (m *Machine) applyInv(n *node, b mem.Block) sim.Time {
+	t := n.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
+	if _, ok := n.slc.Invalidate(b); ok {
+		n.flc.Invalidate(b)
+		n.hist[b] |= hInv
+		n.st.InvalidationsReceived++
+	} else if tx, ok := n.pending[b]; ok && tx.kind == txRead {
+		tx.invalidated = true
+	}
+	return t
+}
+
+// handleVictim processes an SLC eviction: FLC inclusion is maintained,
+// the history records a replacement, and modified victims are written
+// back to their home memory.
+func (m *Machine) handleVictim(n *node, v cache.Victim, t sim.Time) {
+	if !v.Valid {
+		return
+	}
+	n.flc.Invalidate(v.Block)
+	n.hist[v.Block] |= hRepl
+	if v.Line.State != cache.Modified {
+		return // shared victims are dropped silently (full-map tolerates stale presence bits)
+	}
+	n.st.Writebacks++
+	if _, ok := n.wbPending[v.Block]; ok {
+		panic("machine: duplicate writeback in flight")
+	}
+	n.wbPending[v.Block] = nil
+	home := m.home(v.Block)
+	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.DataFlits, t)
+	m.eng.At(arrive, func() { m.homeWriteback(home, n, v.Block) })
+}
+
+// homeWriteback retires an eviction writeback at the home. A writeback
+// that lost a race with another transaction (the directory no longer
+// shows the sender as owner) is stale and is simply acknowledged.
+func (m *Machine) homeWriteback(home int, n *node, b mem.Block) {
+	e := m.dir.Entry(b)
+	run := func() {
+		t := m.eng.Now()
+		var done sim.Time
+		if e.State == coherence.Dirty && e.Owner == n.id {
+			done = m.mems[home].Access(t)
+			e.State = coherence.Uncached
+			e.ClearSharers()
+		} else {
+			done = m.mems[home].Control(t)
+		}
+		ackArrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.CtrlFlits, done)
+		e.Release()
+		m.eng.At(ackArrive, func() {
+			cbs := n.wbPending[b]
+			delete(n.wbPending, b)
+			now := m.eng.Now()
+			for _, cb := range cbs {
+				cb(now)
+			}
+		})
+	}
+	if e.Acquire(run) {
+		run()
+	}
+}

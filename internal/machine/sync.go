@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"fmt"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/network"
+	"prefetchsim/internal/sim"
+)
+
+// Synchronization (paper §4): a queue-based lock mechanism at memory
+// similar to DASH's, with a single lock variable per memory block, and
+// barriers built from arrive/release messages collected at node 0's
+// memory. Under release consistency, releases and barrier arrivals wait
+// until the processor's outstanding writes have been performed.
+
+// lockState is the memory-side queue of one lock variable.
+type lockState struct {
+	held  bool
+	queue []lockWaiter
+}
+
+type lockWaiter struct {
+	n     *node
+	issue sim.Time
+}
+
+func (m *Machine) lock(addr uint64) *lockState {
+	l, ok := m.locks[addr]
+	if !ok {
+		l = &lockState{}
+		m.locks[addr] = l
+	}
+	return l
+}
+
+// doAcquire sends an acquire request to the lock's home memory and
+// blocks the processor until the grant returns.
+func (m *Machine) doAcquire(n *node, addr uint64) {
+	issue := n.time
+	home := m.home(mem.BlockOf(mem.Addr(addr)))
+	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, issue+1)
+	m.eng.At(arrive, func() {
+		done := m.mems[home].Control(m.eng.Now())
+		l := m.lock(addr)
+		if !l.held {
+			l.held = true
+			m.grantLock(home, n, issue, done)
+			return
+		}
+		l.queue = append(l.queue, lockWaiter{n: n, issue: issue})
+	})
+}
+
+// grantLock sends the grant back to the requester and resumes it.
+func (m *Machine) grantLock(home int, n *node, issue, t sim.Time) {
+	arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.CtrlFlits, t)
+	m.eng.At(arrive, func() {
+		now := m.eng.Now()
+		n.st.SyncStall += now - issue
+		n.time = now + 1
+		m.scheduleStep(n)
+	})
+}
+
+// doRelease implements a release under release consistency: the
+// processor first waits for its outstanding writes to be performed,
+// then sends the release message and continues without waiting for it
+// to reach memory. It returns true if the processor may continue
+// immediately.
+func (m *Machine) doRelease(n *node, addr uint64) bool {
+	if n.outWrites > 0 {
+		issue := n.time
+		if n.drainWait != nil {
+			panic(fmt.Sprintf("machine: node %d has overlapping drain waits", n.id))
+		}
+		n.drainWait = func(t sim.Time) {
+			n.st.SyncStall += t - issue
+			n.time = t
+			m.sendRelease(n, addr)
+			n.time++
+			m.scheduleStep(n)
+		}
+		return false
+	}
+	m.sendRelease(n, addr)
+	n.time++
+	return true
+}
+
+// sendRelease fires the release message; the home hands the lock to the
+// next queued waiter, if any.
+func (m *Machine) sendRelease(n *node, addr uint64) {
+	home := m.home(mem.BlockOf(mem.Addr(addr)))
+	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, n.time)
+	m.eng.At(arrive, func() {
+		done := m.mems[home].Control(m.eng.Now())
+		l := m.lock(addr)
+		if !l.held {
+			panic(fmt.Sprintf("machine: node %d released lock %#x that is not held", n.id, addr))
+		}
+		if len(l.queue) == 0 {
+			l.held = false
+			return
+		}
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		m.grantLock(home, w.n, w.issue, done)
+	})
+}
+
+// barrier collects arrivals at node 0's memory and releases everyone
+// when the last processor arrives.
+type barrier struct {
+	episode uint64
+	arrived int
+	waiters []lockWaiter
+}
+
+// doBarrier sends the barrier arrival (after draining writes, as a
+// release point under release consistency) and blocks until released.
+func (m *Machine) doBarrier(n *node, episode uint64) {
+	issue := n.time
+	if n.outWrites > 0 {
+		if n.drainWait != nil {
+			panic(fmt.Sprintf("machine: node %d has overlapping drain waits", n.id))
+		}
+		n.drainWait = func(t sim.Time) {
+			n.time = t
+			m.sendBarrierArrive(n, episode, issue)
+		}
+		return
+	}
+	m.sendBarrierArrive(n, episode, issue)
+}
+
+func (m *Machine) sendBarrierArrive(n *node, episode uint64, issue sim.Time) {
+	if episode != m.bar.episode {
+		panic(fmt.Sprintf("machine: node %d arrived at barrier %d, machine is at %d (malformed program)",
+			n.id, episode, m.bar.episode))
+	}
+	const barrierHome = 0
+	arrive := m.mesh.Send(network.ReqPlane, n.id, barrierHome, network.CtrlFlits, n.time+1)
+	m.eng.At(arrive, func() {
+		done := m.mems[barrierHome].Control(m.eng.Now())
+		m.bar.arrived++
+		m.bar.waiters = append(m.bar.waiters, lockWaiter{n: n, issue: issue})
+		if m.bar.arrived < m.cfg.Processors {
+			return
+		}
+		waiters := m.bar.waiters
+		m.bar.arrived = 0
+		m.bar.waiters = nil
+		m.bar.episode++
+		for _, w := range waiters {
+			w := w
+			grantArrive := m.mesh.Send(network.ReplyPlane, barrierHome, w.n.id, network.CtrlFlits, done)
+			m.eng.At(grantArrive, func() {
+				now := m.eng.Now()
+				w.n.st.SyncStall += now - w.issue
+				w.n.time = now + 1
+				m.scheduleStep(w.n)
+			})
+		}
+	})
+}

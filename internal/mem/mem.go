@@ -1,0 +1,117 @@
+// Package mem defines the simulated shared address space: 32-byte cache
+// blocks, 4 KB pages, round-robin page placement across nodes (by virtual
+// page number, as in the paper), and a bump allocator applications use to
+// lay out their shared data structures.
+package mem
+
+import "fmt"
+
+// Fixed architectural geometry (paper Table 1).
+const (
+	BlockBytes    = 32   // cache block, FLC and SLC
+	PageBytes     = 4096 // virtual page
+	BlockShift    = 5
+	PageShift     = 12
+	BlocksPerPage = PageBytes / BlockBytes
+)
+
+// Addr is a virtual byte address in the simulated shared address space.
+type Addr uint64
+
+// Block identifies a 32-byte cache block (Addr >> 5).
+type Block uint64
+
+// Page identifies a 4 KB page (Addr >> 12).
+type Page uint64
+
+// BlockOf returns the block containing a.
+func BlockOf(a Addr) Block { return Block(a >> BlockShift) }
+
+// PageOf returns the page containing a.
+func PageOf(a Addr) Page { return Page(a >> PageShift) }
+
+// PageOfBlock returns the page containing block b.
+func PageOfBlock(b Block) Page { return Page(b >> (PageShift - BlockShift)) }
+
+// BlockAddr returns the first byte address of block b.
+func BlockAddr(b Block) Addr { return Addr(b) << BlockShift }
+
+// HomeNode returns the node whose memory holds the page containing block
+// b, under round-robin page placement across nodes.
+func HomeNode(b Block, nodes int) int {
+	return int(uint64(PageOfBlock(b)) % uint64(nodes))
+}
+
+// SamePage reports whether two blocks lie in the same page. Prefetches
+// across a page boundary are never issued (paper §2).
+func SamePage(a, b Block) bool { return PageOfBlock(a) == PageOfBlock(b) }
+
+// Space is a bump allocator over the simulated address space. It never
+// frees; applications allocate their shared structures once at startup.
+// The zero value starts allocating at one page above zero so that address
+// 0 (and block 0) never aliases real data.
+type Space struct {
+	next Addr
+}
+
+// NewSpace returns an allocator whose first allocation begins at the
+// second page of the address space.
+func NewSpace() *Space { return &Space{next: PageBytes} }
+
+// Alloc reserves size bytes aligned to align (which must be a power of
+// two; 0 means block alignment) and returns the base address.
+func (s *Space) Alloc(size int, align int) Addr {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %d", size))
+	}
+	if align == 0 {
+		align = BlockBytes
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	a := uint64(align)
+	base := (uint64(s.next) + a - 1) &^ (a - 1)
+	s.next = Addr(base + uint64(size))
+	return Addr(base)
+}
+
+// AllocPage reserves size bytes starting on a fresh page boundary.
+func (s *Space) AllocPage(size int) Addr { return s.Alloc(size, PageBytes) }
+
+// Used returns the total extent of the address space handed out so far.
+func (s *Space) Used() Addr { return s.next }
+
+// Array describes a contiguous shared array of fixed-size records, the
+// layout unit applications use. Element addresses are computed, never
+// stored, so arrays of millions of elements cost nothing.
+type Array struct {
+	Base   Addr
+	Stride int // bytes between consecutive elements
+	Len    int
+}
+
+// NewArray allocates an array of n records of recSize bytes each, with
+// each record padded to pad bytes (pad >= recSize; pad == 0 means no
+// padding). Records are block-aligned if pad is a multiple of BlockBytes.
+func NewArray(s *Space, n, recSize, pad int) Array {
+	if pad == 0 {
+		pad = recSize
+	}
+	if pad < recSize {
+		panic("mem: padded record smaller than record")
+	}
+	base := s.Alloc(n*pad, BlockBytes)
+	return Array{Base: base, Stride: pad, Len: n}
+}
+
+// At returns the address of byte offset off within element i.
+func (a Array) At(i, off int) Addr {
+	if i < 0 || i >= a.Len {
+		panic(fmt.Sprintf("mem: array index %d out of range [0,%d)", i, a.Len))
+	}
+	return a.Base + Addr(i*a.Stride+off)
+}
+
+// Elem returns the address of element i.
+func (a Array) Elem(i int) Addr { return a.At(i, 0) }

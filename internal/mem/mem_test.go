@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if BlockBytes != 32 || PageBytes != 4096 {
+		t.Fatal("paper Table 1 geometry changed")
+	}
+	if BlocksPerPage != 128 {
+		t.Fatalf("BlocksPerPage = %d, want 128", BlocksPerPage)
+	}
+}
+
+func TestBlockAndPageOf(t *testing.T) {
+	cases := []struct {
+		addr  Addr
+		block Block
+		page  Page
+	}{
+		{0, 0, 0},
+		{31, 0, 0},
+		{32, 1, 0},
+		{4095, 127, 0},
+		{4096, 128, 1},
+		{8192 + 33, 257, 2},
+	}
+	for _, c := range cases {
+		if got := BlockOf(c.addr); got != c.block {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.addr, got, c.block)
+		}
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+	}
+}
+
+func TestPageOfBlockConsistent(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return PageOf(addr) == PageOfBlock(BlockOf(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	f := func(b uint32) bool {
+		blk := Block(b)
+		return BlockOf(BlockAddr(blk)) == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeNodeRoundRobin(t *testing.T) {
+	// Consecutive pages must map to consecutive nodes mod 16.
+	for p := 0; p < 64; p++ {
+		b := Block(p * BlocksPerPage)
+		if got := HomeNode(b, 16); got != p%16 {
+			t.Fatalf("HomeNode(page %d) = %d, want %d", p, got, p%16)
+		}
+	}
+	// All blocks of one page share a home.
+	for i := 0; i < BlocksPerPage; i++ {
+		if HomeNode(Block(5*BlocksPerPage+i), 16) != 5 {
+			t.Fatal("blocks within a page have different homes")
+		}
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	if !SamePage(0, 127) {
+		t.Error("blocks 0 and 127 are in the same page")
+	}
+	if SamePage(127, 128) {
+		t.Error("blocks 127 and 128 straddle a page boundary")
+	}
+}
+
+func TestSpaceAlignment(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc(100, 64)
+	if a%64 != 0 {
+		t.Errorf("Alloc(100,64) = %d not 64-aligned", a)
+	}
+	b := s.Alloc(10, 0)
+	if b%BlockBytes != 0 {
+		t.Errorf("default alignment not block-aligned: %d", b)
+	}
+	if b < a+100 {
+		t.Errorf("allocations overlap: a=[%d,%d) b=%d", a, a+100, b)
+	}
+}
+
+func TestSpaceNeverReturnsPageZero(t *testing.T) {
+	s := NewSpace()
+	if a := s.Alloc(1, 0); PageOf(a) == 0 {
+		t.Fatalf("first allocation %d landed in page 0", a)
+	}
+}
+
+func TestSpaceAllocPage(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(100, 0)
+	a := s.AllocPage(100)
+	if a%PageBytes != 0 {
+		t.Errorf("AllocPage = %d not page-aligned", a)
+	}
+}
+
+func TestSpaceAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := NewSpace()
+		var prevEnd Addr
+		for _, sz := range sizes {
+			a := s.Alloc(int(sz)+1, 0)
+			if a < prevEnd {
+				return false
+			}
+			prevEnd = a + Addr(sz) + 1
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpacePanicsOnBadArgs(t *testing.T) {
+	s := NewSpace()
+	mustPanic(t, "negative size", func() { s.Alloc(-1, 0) })
+	mustPanic(t, "non-power-of-two align", func() { s.Alloc(8, 3) })
+}
+
+func TestArrayLayout(t *testing.T) {
+	s := NewSpace()
+	arr := NewArray(s, 10, 24, 32)
+	if arr.Stride != 32 {
+		t.Fatalf("stride = %d, want 32", arr.Stride)
+	}
+	if arr.Elem(1)-arr.Elem(0) != 32 {
+		t.Fatal("element spacing != stride")
+	}
+	if arr.At(3, 8) != arr.Elem(3)+8 {
+		t.Fatal("At offset arithmetic wrong")
+	}
+	// Padded records land on distinct blocks.
+	if BlockOf(arr.Elem(0)) == BlockOf(arr.Elem(1)) {
+		t.Fatal("padded records share a block")
+	}
+}
+
+func TestArrayUnpaddedDefaultsToRecordSize(t *testing.T) {
+	s := NewSpace()
+	arr := NewArray(s, 4, 8, 0)
+	if arr.Stride != 8 {
+		t.Fatalf("stride = %d, want 8", arr.Stride)
+	}
+}
+
+func TestArrayBoundsPanic(t *testing.T) {
+	s := NewSpace()
+	arr := NewArray(s, 4, 8, 0)
+	mustPanic(t, "index -1", func() { arr.Elem(-1) })
+	mustPanic(t, "index == len", func() { arr.Elem(4) })
+}
+
+func TestArrayPadSmallerThanRecordPanics(t *testing.T) {
+	s := NewSpace()
+	mustPanic(t, "pad < rec", func() { NewArray(s, 1, 16, 8) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: did not panic", name)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,89 @@
+// Package memsys models one node's local memory system: a 256-bit-wide
+// split-transaction bus clocked at 33 MHz (3 pclocks per bus cycle), the
+// directory controller, and fully interleaved DRAM with a 90 ns (9
+// pclock) access time (paper §4, Table 1).
+//
+// A 32-byte block is exactly one 256-bit bus transfer, so every bus
+// transaction — request or data — occupies the bus for a single bus
+// cycle. Memory is fully interleaved, so banks are pipelined: a bank
+// accepts a new access every bus cycle while each access takes the full
+// 9-pclock latency.
+package memsys
+
+import "prefetchsim/internal/sim"
+
+// Timing constants, in pclocks (1 pclock = 10 ns).
+const (
+	// BusCycle is one cycle of the 33 MHz local bus.
+	BusCycle = 3
+	// MemLatency is the DRAM access time (90 ns).
+	MemLatency = 9
+	// MemOccupancy is the per-bank pipeline interval of the fully
+	// interleaved memory.
+	MemOccupancy = 3
+	// DirLatency is the directory controller lookup/update time.
+	DirLatency = 4
+)
+
+// Module is one node's bus + directory + memory. The split-transaction
+// bus is modelled as decoupled request and data phases, so a reply
+// transfer never blocks a later request phase.
+//
+// BandwidthFactor (default 1) divides the memory system's bandwidth:
+// a factor of k stretches every bus cycle and memory-bank occupancy by
+// k, modelling a narrower/slower memory system without changing the
+// unloaded latency composition more than proportionally. It drives the
+// paper's closing claim that stride prefetching wins when "the
+// memory-system bandwidth is limited" (§7).
+type Module struct {
+	busReq  sim.Resource
+	busData sim.Resource
+	mem     sim.Resource
+
+	// BandwidthFactor divides bandwidth; 0 is treated as 1.
+	BandwidthFactor int
+
+	// Accesses counts memory-data accesses, Controls directory-only
+	// transactions; both include locally and remotely initiated ones.
+	Accesses int64
+	Controls int64
+}
+
+// Access performs a transaction that reads or writes a memory block
+// (read miss service, writeback): request bus cycle, directory lookup,
+// DRAM access, data bus cycle. It returns the completion time for a
+// request arriving at t.
+func (m *Module) Access(t sim.Time) sim.Time {
+	m.Accesses++
+	cyc := m.busCycle()
+	reqOnBus := m.busReq.Acquire(t, cyc) + cyc
+	bank := m.mem.Acquire(reqOnBus, sim.Time(m.factor())*MemOccupancy)
+	dataReady := bank + DirLatency + MemLatency
+	dataOnBus := m.busData.Acquire(dataReady, cyc) + cyc
+	return dataOnBus
+}
+
+func (m *Module) factor() int {
+	if m.BandwidthFactor < 1 {
+		return 1
+	}
+	return m.BandwidthFactor
+}
+
+func (m *Module) busCycle() sim.Time { return sim.Time(m.factor()) * BusCycle }
+
+// Control performs a directory-only transaction (ownership upgrade with
+// no data, ack collection, lock handling): request bus cycle, directory
+// time, reply bus cycle.
+func (m *Module) Control(t sim.Time) sim.Time {
+	m.Controls++
+	cyc := m.busCycle()
+	reqOnBus := m.busReq.Acquire(t, cyc) + cyc
+	done := reqOnBus + DirLatency
+	replyOnBus := m.busData.Acquire(done, cyc) + cyc
+	return replyOnBus
+}
+
+// BusBusy returns accumulated bus busy time across both phases, for
+// utilization reporting.
+func (m *Module) BusBusy() sim.Time { return m.busReq.Busy + m.busData.Busy }

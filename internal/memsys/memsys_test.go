@@ -1,0 +1,79 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefetchsim/internal/sim"
+)
+
+func TestAccessUncontendedLatency(t *testing.T) {
+	var m Module
+	// bus(3) + dir(4) + mem(9) + bus(3) = 19 pclocks.
+	if got := m.Access(100); got != 119 {
+		t.Fatalf("Access completes at %d, want 119", got)
+	}
+}
+
+func TestControlUncontendedLatency(t *testing.T) {
+	var m Module
+	// bus(3) + dir(4) + bus(3) = 10 pclocks.
+	if got := m.Control(100); got != 110 {
+		t.Fatalf("Control completes at %d, want 110", got)
+	}
+}
+
+func TestAccessBusContention(t *testing.T) {
+	var m Module
+	a := m.Access(0)
+	b := m.Access(0) // second request waits for the bus
+	if b <= a {
+		t.Fatalf("contended access (%d) not delayed behind first (%d)", b, a)
+	}
+}
+
+func TestInterleavedMemoryPipelines(t *testing.T) {
+	// Back-to-back accesses should be limited by bus/bank pipelining
+	// (every 3 pclocks), not serialized by the full 9-pclock latency.
+	var m Module
+	var prev sim.Time
+	for i := 0; i < 10; i++ {
+		done := m.Access(0)
+		if i > 0 && done-prev > 2*BusCycle {
+			t.Fatalf("access %d spaced %d pclocks after previous; memory not pipelined", i, done-prev)
+		}
+		prev = done
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var m Module
+	m.Access(0)
+	m.Access(0)
+	m.Control(0)
+	if m.Accesses != 2 || m.Controls != 1 {
+		t.Fatalf("counters = %d/%d, want 2/1", m.Accesses, m.Controls)
+	}
+	if m.BusBusy() == 0 {
+		t.Fatal("bus busy time not accumulated")
+	}
+}
+
+func TestCompletionNeverBeforeArrival(t *testing.T) {
+	var m Module
+	f := func(arr []uint16) bool {
+		for _, a := range arr {
+			t0 := sim.Time(a)
+			if m.Access(t0) < t0+BusCycle+DirLatency+MemLatency+BusCycle {
+				return false
+			}
+			if m.Control(t0) < t0+2*BusCycle+DirLatency {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

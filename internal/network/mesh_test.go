@@ -1,0 +1,159 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefetchsim/internal/sim"
+)
+
+func TestNewSixteenNodesIsFourByFour(t *testing.T) {
+	m := New(16)
+	if m.cols != 4 || m.rows != 4 {
+		t.Fatalf("16 nodes → %dx%d, want 4x4", m.cols, m.rows)
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := New(16)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},
+		{0, 15, 6},
+		{5, 10, 2},
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := New(16)
+	f := func(a, b uint8) bool {
+		s, d := int(a%16), int(b%16)
+		return m.Hops(s, d) == m.Hops(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendLocalIsFree(t *testing.T) {
+	m := New(16)
+	if got := m.Send(ReqPlane, 7, 7, DataFlits, 100); got != 100 {
+		t.Fatalf("local send arrived at %d, want 100", got)
+	}
+	if m.Messages != 0 || m.Flits != 0 {
+		t.Fatal("local send counted as network traffic")
+	}
+}
+
+func TestSendUncontendedLatency(t *testing.T) {
+	m := New(16)
+	// One hop: fall-through (3) + serialization (flits).
+	got := m.Send(ReqPlane, 0, 1, CtrlFlits, 0)
+	want := sim.Time(FallThrough + CtrlFlits)
+	if got != want {
+		t.Fatalf("1-hop ctrl message arrives at %d, want %d", got, want)
+	}
+	// Six hops, data message, fresh mesh.
+	m2 := New(16)
+	got = m2.Send(ReplyPlane, 0, 15, DataFlits, 0)
+	want = sim.Time(6*FallThrough + DataFlits)
+	if got != want {
+		t.Fatalf("6-hop data message arrives at %d, want %d", got, want)
+	}
+}
+
+func TestSendContentionDelays(t *testing.T) {
+	m := New(16)
+	a := m.Send(ReqPlane, 0, 1, DataFlits, 0)
+	b := m.Send(ReqPlane, 0, 1, DataFlits, 0) // same link, same time
+	if b <= a {
+		t.Fatalf("second message (%d) not delayed behind first (%d)", b, a)
+	}
+	if b-a != DataFlits {
+		t.Fatalf("contention delay = %d, want %d (serialization)", b-a, DataFlits)
+	}
+}
+
+func TestPlanesAreIndependent(t *testing.T) {
+	m := New(16)
+	a := m.Send(ReqPlane, 0, 1, DataFlits, 0)
+	b := m.Send(ReplyPlane, 0, 1, DataFlits, 0)
+	if a != b {
+		t.Fatalf("reply plane (%d) contended with request plane (%d)", b, a)
+	}
+}
+
+func TestDisjointRoutesDoNotContend(t *testing.T) {
+	m := New(16)
+	a := m.Send(ReqPlane, 0, 1, DataFlits, 0)
+	b := m.Send(ReqPlane, 4, 5, DataFlits, 0)
+	if a != b {
+		t.Fatalf("disjoint routes interfered: %d vs %d", a, b)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := New(16)
+	m.Send(ReqPlane, 0, 3, CtrlFlits, 0) // 3 hops
+	if m.Messages != 1 || m.Flits != CtrlFlits || m.FlitHops != 3*CtrlFlits {
+		t.Fatalf("counters = %d msgs, %d flits, %d flit-hops",
+			m.Messages, m.Flits, m.FlitHops)
+	}
+	if m.BusyTime() != sim.Time(3*CtrlFlits) {
+		t.Fatalf("BusyTime = %d, want %d", m.BusyTime(), 3*CtrlFlits)
+	}
+}
+
+func TestSendArrivalNeverBeforeDeparture(t *testing.T) {
+	m := New(16)
+	f := func(srcU, dstU uint8, tU uint16) bool {
+		src, dst := int(srcU%16), int(dstU%16)
+		t0 := sim.Time(tU)
+		arr := m.Send(ReqPlane, src, dst, CtrlFlits, t0)
+		if src == dst {
+			return arr == t0
+		}
+		minLat := sim.Time(m.Hops(src, dst)*FallThrough + CtrlFlits)
+		return arr >= t0+minLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYRoutingDeterministic(t *testing.T) {
+	// The same sequence of sends produces identical timings across runs.
+	run := func() []sim.Time {
+		m := New(16)
+		var out []sim.Time
+		r := sim.NewRand(42)
+		for i := 0; i < 200; i++ {
+			src, dst := r.Intn(16), r.Intn(16)
+			out = append(out, m.Send(ReqPlane, src, dst, DataFlits, sim.Time(i)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at message %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

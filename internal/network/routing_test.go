@@ -1,0 +1,27 @@
+package network
+
+import "testing"
+
+// Non-square node counts must still form complete grids: every XY route
+// must stay within existing routers (regression: 8 nodes once built a
+// holed 3×3 grid that routing could fall off).
+func TestAllPairsRoutableForManyNodeCounts(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 4, 6, 8, 12, 16, 32, 64} {
+		m := New(nodes)
+		if m.cols*m.rows != nodes {
+			t.Fatalf("%d nodes: grid %dx%d is not exact", nodes, m.cols, m.rows)
+		}
+		for s := 0; s < nodes; s++ {
+			for d := 0; d < nodes; d++ {
+				m.Send(ReqPlane, s, d, CtrlFlits, 0) // must not panic
+			}
+		}
+	}
+}
+
+func TestSixteenNodesStillFourByFour(t *testing.T) {
+	m := New(16)
+	if m.cols != 4 || m.rows != 4 {
+		t.Fatalf("16 nodes → %dx%d, want the paper's 4x4", m.cols, m.rows)
+	}
+}

@@ -1,0 +1,252 @@
+package prefetch
+
+import (
+	"prefetchsim/internal/mem"
+)
+
+// DDetection implements Hagersten's D-detection stride prefetching
+// scheme (paper §3.2, after [13]). It needs no program counter: strides
+// are detected from the read-miss address stream alone.
+//
+// On each read miss, the miss address is matched against recent misses
+// in the miss list and all pairwise strides are computed. Each stride's
+// occurrence count accumulates in a frequency table; a stride seen
+// stride-threshold times is promoted to the list of common strides. A
+// newly computed stride that is already common indicates a potential
+// stream, which enters the stream list; after two further confirming
+// misses the stream starts prefetching, using the same prefetching
+// phase as the other schemes.
+//
+// The four tables have 16 entries each with LRU replacement, and the
+// stride threshold is 3, as in the paper.
+type DDetection struct {
+	degree    int
+	threshold int
+	// adaptDistance enables Hagersten's own prefetching phase (§6): "if
+	// the prefetched block is accessed before it has arrived, the number
+	// of blocks that are prefetched is increased", adjusting the
+	// lookahead distance to the latency of a prefetch request.
+	adaptDistance bool
+
+	missList []mem.Block // most recent first
+	maxList  int
+
+	freq    []freqEntry // LRU, most recent first
+	common  []int64     // LRU, most recent first
+	streams []streamEntry
+}
+
+type freqEntry struct {
+	stride int64
+	count  int
+}
+
+type streamEntry struct {
+	next    mem.Block // next block expected in the stream
+	stride  int64     // blocks
+	confirm int       // confirming misses seen
+	active  bool      // prefetching started
+	dist    int       // current prefetch distance (adaptive variant)
+}
+
+// confirmationsNeeded is the number of confirming misses a stream-list
+// entry needs before prefetching starts. The entry itself is inserted by
+// one miss and confirmed by the next, so "two additional misses are
+// required to initiate prefetching" (§3.2).
+const confirmationsNeeded = 1
+
+// NewDDetection returns a D-detection prefetcher with tables of the
+// given size, the given stride threshold, and prefetch degree d.
+func NewDDetection(tableSize, threshold, d int) *DDetection {
+	if tableSize < 1 || threshold < 1 || d < 1 {
+		panic("prefetch: D-detection parameters must be positive")
+	}
+	return &DDetection{degree: d, threshold: threshold, maxList: tableSize}
+}
+
+// NewDefaultDDetection returns the paper's configuration: 16-entry
+// tables, stride threshold 3, degree d.
+func NewDefaultDDetection(d int) *DDetection { return NewDDetection(16, 3, d) }
+
+// NewHagerstenDDetection returns D-detection with Hagersten's original
+// latency-adaptive prefetching phase (§6) instead of the paper's common
+// fixed-degree phase.
+func NewHagerstenDDetection(d int) *DDetection {
+	p := NewDefaultDDetection(d)
+	p.adaptDistance = true
+	return p
+}
+
+// maxStreamDistance caps the adaptive per-stream prefetch distance.
+const maxStreamDistance = 8
+
+// Name implements Prefetcher.
+func (p *DDetection) Name() string {
+	if p.adaptDistance {
+		return "D-det-LA"
+	}
+	return "D-det"
+}
+
+// OnRead implements Prefetcher. D-detection observes misses (detection)
+// and tagged hits (the shared prefetching phase).
+func (p *DDetection) OnRead(r Request, emit func(mem.Block)) {
+	if r.Hit {
+		if r.TagConsumed {
+			p.onTaggedHit(r.Block, emit)
+		}
+		return
+	}
+	p.onMiss(r.Block, r.Merged, emit)
+}
+
+func (p *DDetection) onMiss(b mem.Block, merged bool, emit func(mem.Block)) {
+	// A miss matching an active or forming stream confirms/advances it.
+	if p.advanceStream(b, false, merged, emit) {
+		p.pushMiss(b)
+		return
+	}
+
+	// Compute all strides against the recorded misses.
+	for _, prev := range p.missList {
+		s := int64(b) - int64(prev)
+		if s == 0 {
+			continue
+		}
+		if p.isCommon(s) {
+			p.insertStream(b, s)
+			continue
+		}
+		if p.bumpFreq(s) >= p.threshold {
+			p.promote(s)
+		}
+	}
+	p.pushMiss(b)
+}
+
+// onTaggedHit continues an active stream: consuming the tagged block at
+// b prefetches the block degree*stride ahead.
+func (p *DDetection) onTaggedHit(b mem.Block, emit func(mem.Block)) {
+	p.advanceStream(b, true, false, emit)
+}
+
+// advanceStream finds a stream expecting block b and advances it. For a
+// forming stream a match counts as a confirmation; once confirmed twice
+// the stream activates and launches its first prefetches. It reports
+// whether a stream matched.
+func (p *DDetection) advanceStream(b mem.Block, tagged, merged bool, emit func(mem.Block)) bool {
+	for i := range p.streams {
+		st := &p.streams[i]
+		if st.next != b {
+			continue
+		}
+		st.next = mem.Block(int64(b) + st.stride)
+		if st.active {
+			d := p.degree
+			if p.adaptDistance {
+				if st.dist < p.degree {
+					st.dist = p.degree
+				}
+				if merged && st.dist < maxStreamDistance {
+					// The block was requested before its prefetch
+					// arrived: increase the stream's lookahead.
+					st.dist++
+				}
+				d = st.dist
+			}
+			// Shared prefetching phase: next block in the sequence,
+			// d*stride ahead of the consumed block.
+			emit(mem.Block(int64(b) + int64(d)*st.stride))
+		} else if !tagged {
+			st.confirm++
+			if st.confirm >= confirmationsNeeded {
+				st.active = true
+				st.dist = p.degree
+				for k := 1; k <= p.degree; k++ {
+					emit(mem.Block(int64(b) + int64(k)*st.stride))
+				}
+			}
+		}
+		p.touchStream(i)
+		return true
+	}
+	return false
+}
+
+func (p *DDetection) insertStream(b mem.Block, stride int64) {
+	next := mem.Block(int64(b) + stride)
+	for i := range p.streams {
+		if p.streams[i].next == next && p.streams[i].stride == stride {
+			p.touchStream(i)
+			return
+		}
+	}
+	st := streamEntry{next: next, stride: stride}
+	p.streams = append([]streamEntry{st}, p.streams...)
+	if len(p.streams) > p.maxList {
+		p.streams = p.streams[:p.maxList]
+	}
+}
+
+func (p *DDetection) touchStream(i int) {
+	if i == 0 {
+		return
+	}
+	st := p.streams[i]
+	copy(p.streams[1:i+1], p.streams[:i])
+	p.streams[0] = st
+}
+
+func (p *DDetection) pushMiss(b mem.Block) {
+	p.missList = append([]mem.Block{b}, p.missList...)
+	if len(p.missList) > p.maxList {
+		p.missList = p.missList[:p.maxList]
+	}
+}
+
+func (p *DDetection) isCommon(s int64) bool {
+	for i, c := range p.common {
+		if c == s {
+			if i != 0 {
+				copy(p.common[1:i+1], p.common[:i])
+				p.common[0] = s
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// bumpFreq increments the frequency count of stride s (inserting it with
+// LRU replacement if absent) and returns the new count.
+func (p *DDetection) bumpFreq(s int64) int {
+	for i := range p.freq {
+		if p.freq[i].stride == s {
+			p.freq[i].count++
+			e := p.freq[i]
+			copy(p.freq[1:i+1], p.freq[:i])
+			p.freq[0] = e
+			return e.count
+		}
+	}
+	p.freq = append([]freqEntry{{stride: s, count: 1}}, p.freq...)
+	if len(p.freq) > p.maxList {
+		p.freq = p.freq[:p.maxList]
+	}
+	return 1
+}
+
+// promote moves stride s from the frequency table to the common-stride
+// list.
+func (p *DDetection) promote(s int64) {
+	for i := range p.freq {
+		if p.freq[i].stride == s {
+			p.freq = append(p.freq[:i], p.freq[i+1:]...)
+			break
+		}
+	}
+	p.common = append([]int64{s}, p.common...)
+	if len(p.common) > p.maxList {
+		p.common = p.common[:p.maxList]
+	}
+}

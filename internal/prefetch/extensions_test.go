@@ -1,0 +1,163 @@
+package prefetch
+
+import (
+	"testing"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// Tests for the §6 extension schemes: lookahead I-detection, Hagersten's
+// latency-adaptive D-detection, and hybrid software-assisted prefetching.
+
+func mergedMiss(pc trace.PC, addr mem.Addr) Request {
+	return Request{PC: pc, Addr: addr, Block: mem.BlockOf(addr), Merged: true}
+}
+
+func TestLookaheadIDetGrowsDistanceWhenLate(t *testing.T) {
+	p := NewLookaheadIDetection(256, 1)
+	a := mem.Addr(64 * 32)
+	collect(p, miss(7, a))
+	// Second access: stride 1 block, init state, distance 1.
+	got := collect(p, miss(7, a+32))
+	if !equalBlocks(got, []mem.Block{66}) {
+		t.Fatalf("initial launch = %v, want [66]", got)
+	}
+	// The stream's prefetches keep arriving late (merged): each late
+	// access stretches the lookahead by one block. A late access is a
+	// miss, so the whole (filtered-downstream) window is re-launched;
+	// its far edge shows the distance.
+	got = collect(p, mergedMiss(7, a+64))
+	if len(got) == 0 || got[len(got)-1] != 68 { // distance 2
+		t.Fatalf("after 1 late access = %v, want far edge 68", got)
+	}
+	got = collect(p, mergedMiss(7, a+96))
+	if len(got) == 0 || got[len(got)-1] != 70 { // distance 3
+		t.Fatalf("after 2 late accesses = %v, want far edge 70", got)
+	}
+}
+
+func TestLookaheadIDetDistanceIsCapped(t *testing.T) {
+	p := NewLookaheadIDetection(256, 1)
+	a := mem.Addr(1 << 20)
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+32))
+	for i := 2; i < 40; i++ {
+		collect(p, mergedMiss(7, a+mem.Addr(i*32)))
+	}
+	got := collect(p, mergedMiss(7, a+40*32))
+	want := mem.Block((uint64(a)+40*32)>>5) + maxLookahead
+	if len(got) != maxLookahead || got[len(got)-1] != want {
+		t.Fatalf("capped window = %v, want %d blocks ending at %d", got, maxLookahead, want)
+	}
+}
+
+func TestLookaheadIDetDecaysWhenTimely(t *testing.T) {
+	p := NewLookaheadIDetection(256, 1)
+	a := mem.Addr(1 << 21)
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+32))
+	// Stretch to distance 4.
+	for i := 2; i < 5; i++ {
+		collect(p, mergedMiss(7, a+mem.Addr(i*32)))
+	}
+	// Then a long run of perfectly timely consumptions: the distance
+	// must decay back toward the degree.
+	addr := a + 5*32
+	for i := 0; i < 200; i++ {
+		collect(p, taggedHit(7, addr))
+		addr += 32
+	}
+	got := collect(p, taggedHit(7, addr))
+	dist := int64(got[0]) - int64(mem.BlockOf(addr))
+	if dist > 2 {
+		t.Fatalf("distance %d after 200 timely hits; decay broken", dist)
+	}
+}
+
+func TestPlainIDetIgnoresMerged(t *testing.T) {
+	p := NewIDetection(256, 1)
+	a := mem.Addr(1 << 22)
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+32))
+	got := collect(p, mergedMiss(7, a+64))
+	if !equalBlocks(got, []mem.Block{(1<<22)/32 + 3}) {
+		t.Fatalf("non-lookahead variant changed distance: %v", got)
+	}
+	if p.Name() != "I-det" || NewLookaheadIDetection(256, 1).Name() != "I-det-LA" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestHagerstenDDetGrowsStreamDistance(t *testing.T) {
+	p := NewHagerstenDDetection(1)
+	// Activate a stride-3 stream (6 misses).
+	for i := 0; i < 6; i++ {
+		collect(p, miss(0, mem.BlockAddr(mem.Block(1000+3*i))))
+	}
+	// Late (merged) misses along the stream stretch its distance.
+	got := collect(p, mergedMiss(0, mem.BlockAddr(1018)))
+	if !equalBlocks(got, []mem.Block{1024}) { // distance 2: 1018+2*3
+		t.Fatalf("after late access = %v, want [1024]", got)
+	}
+	got = collect(p, mergedMiss(0, mem.BlockAddr(1021)))
+	if !equalBlocks(got, []mem.Block{1030}) { // distance 3
+		t.Fatalf("after 2nd late access = %v, want [1030]", got)
+	}
+	// Timely tagged hits keep the stretched distance (Hagersten only
+	// grows it; the stream dies with its LRU entry).
+	got = collect(p, taggedHit(0, mem.BlockAddr(1024)))
+	if !equalBlocks(got, []mem.Block{1033}) {
+		t.Fatalf("tagged continuation = %v, want [1033]", got)
+	}
+	if p.Name() != "D-det-LA" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestHybridPrefetchesHintedSitesImmediately(t *testing.T) {
+	p := NewHybrid(map[trace.PC]int64{7: 96}, 1) // 3-block stride
+	// First miss already launches: no detection phase.
+	got := collect(p, miss(7, 6400))
+	if !equalBlocks(got, []mem.Block{mem.BlockOf(6400 + 96)}) {
+		t.Fatalf("first miss proposed %v", got)
+	}
+	// Tagged hits chain.
+	got = collect(p, taggedHit(7, 6400+96))
+	if !equalBlocks(got, []mem.Block{mem.BlockOf(6400 + 192)}) {
+		t.Fatalf("tagged hit proposed %v", got)
+	}
+}
+
+func TestHybridSilentWithoutHint(t *testing.T) {
+	p := NewHybrid(map[trace.PC]int64{7: 96}, 1)
+	if got := collect(p, miss(9, 6400)); got != nil {
+		t.Fatalf("unhinted PC proposed %v", got)
+	}
+	if got := collect(p, taggedHit(9, 6400)); got != nil {
+		t.Fatalf("unhinted tagged hit proposed %v", got)
+	}
+}
+
+func TestHybridDegreeAndZeroStrideFiltered(t *testing.T) {
+	p := NewHybrid(map[trace.PC]int64{1: 32, 2: 0}, 3)
+	got := collect(p, miss(1, 32*100))
+	if !equalBlocks(got, []mem.Block{101, 102, 103}) {
+		t.Fatalf("degree-3 launch = %v", got)
+	}
+	if got := collect(p, miss(2, 64000)); got != nil {
+		t.Fatalf("zero-stride hint proposed %v", got)
+	}
+	if p.Name() != "Hybrid" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestNewHybridPanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	NewHybrid(nil, 0)
+}

@@ -1,0 +1,303 @@
+// Package prefetch implements the hardware prefetching schemes the paper
+// compares (§3), all prefetching into the second-level cache only:
+//
+//   - Sequential prefetching (§3.4): on a miss to block B, prefetch
+//     B+1..B+d; on a hit to a block tagged "prefetched", clear the tag
+//     and prefetch the block d ahead.
+//   - I-detection stride prefetching (§3.2–3.3): a Reference Prediction
+//     Table indexed by load-instruction address with the Baer–Chen
+//     four-state control algorithm (init/steady/transient/no-pref).
+//   - D-detection stride prefetching (§3.2–3.3): Hagersten's scheme,
+//     detecting strides from miss addresses alone via a miss list,
+//     stride frequency table, common-stride list and stream list.
+//   - Adaptive sequential prefetching (§6, an extension from Dahlgren,
+//     Dubois and Stenström [6]): sequential prefetching whose degree
+//     adapts to a measured prefetch-usefulness ratio and can reach zero.
+//
+// All schemes share the same prefetching phase: the machine tags blocks
+// brought in by prefetch, and the first demand reference to a tagged
+// block both counts the prefetch as useful and triggers the next
+// prefetch of the sequence.
+//
+// A prefetcher only *proposes* blocks; the machine filters proposals that
+// are already cached, already in flight, cross a page boundary (paper
+// §2), or would overflow the SLWB.
+package prefetch
+
+import (
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// Request describes one read presented to the SLC (i.e., an FLC read
+// miss), the only references a prefetcher observes (paper §2).
+type Request struct {
+	PC    trace.PC
+	Addr  mem.Addr
+	Block mem.Block
+	// Hit reports whether the block was present in the SLC.
+	Hit bool
+	// TagConsumed reports that the block carried the "prefetched" tag,
+	// now cleared: the prefetching-phase trigger.
+	TagConsumed bool
+	// Merged reports that the block was not present but its prefetch
+	// was already in flight: the prefetch was issued too late to hide
+	// the whole latency. Lookahead-adaptive schemes (§6: Baer–Chen's
+	// lookahead-PC, Hagersten's distance adjustment) key off this.
+	Merged bool
+}
+
+// Prefetcher proposes blocks to prefetch in reaction to SLC reads.
+type Prefetcher interface {
+	// Name identifies the scheme in reports ("I-det", "D-det", "Seq"...).
+	Name() string
+	// OnRead observes one SLC read and proposes prefetch blocks via
+	// emit. Proposals may be duplicates or uncacheable; the machine
+	// filters them.
+	OnRead(r Request, emit func(mem.Block))
+}
+
+// None is the baseline architecture: no prefetching.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "baseline" }
+
+// OnRead implements Prefetcher.
+func (None) OnRead(Request, func(mem.Block)) {}
+
+// Sequential implements fixed sequential prefetching with degree d
+// (paper §3.4).
+type Sequential struct {
+	degree int
+}
+
+// NewSequential returns a sequential prefetcher of degree d (d >= 1).
+func NewSequential(d int) *Sequential {
+	if d < 1 {
+		panic("prefetch: sequential degree must be >= 1")
+	}
+	return &Sequential{degree: d}
+}
+
+// Name implements Prefetcher.
+func (s *Sequential) Name() string { return "Seq" }
+
+// OnRead implements Prefetcher.
+func (s *Sequential) OnRead(r Request, emit func(mem.Block)) {
+	switch {
+	case !r.Hit:
+		// Miss to B: prefetch B+1 .. B+d.
+		for k := 1; k <= s.degree; k++ {
+			emit(r.Block + mem.Block(k))
+		}
+	case r.TagConsumed:
+		// Hit on a tagged block: prefetch the block d ahead.
+		emit(r.Block + mem.Block(s.degree))
+	}
+}
+
+// rptState is the Baer–Chen control state (paper Figure 4).
+type rptState uint8
+
+const (
+	// rptNew: entry just allocated; no stride known yet.
+	rptNew rptState = iota
+	// rptInit: stride computed; prefetching; not yet confirmed twice.
+	rptInit
+	// rptSteady: the instruction accessed the same stride sequence
+	// three times in a row.
+	rptSteady
+	// rptTransient: two incorrect predictions in a row; stride
+	// recalculated; still prefetching.
+	rptTransient
+	// rptNoPref: three incorrect predictions in a row; prefetching for
+	// this instruction is stopped (the feature that keeps I-detection's
+	// useless-prefetch count low, §5.2).
+	rptNoPref
+)
+
+type rptEntry struct {
+	pc     trace.PC
+	valid  bool
+	prev   mem.Addr
+	stride int64
+	state  rptState
+	// dist is the current lookahead distance in stride units (lookahead
+	// variant only); timely counts consecutive in-time prefetch
+	// consumptions, used to decay dist back toward the degree.
+	dist   uint8
+	timely uint8
+}
+
+// IDetection is the I-detection stride prefetching scheme: a 256-entry
+// direct-mapped Reference Prediction Table tagged by load-instruction
+// address (paper §3.2, after Baer and Chen [1], sized as in Chen and
+// Baer [5]).
+type IDetection struct {
+	entries []rptEntry
+	mask    uint32
+	degree  int
+	// lookahead enables the dynamic-distance variant modelled on Baer
+	// and Chen's lookahead-PC (§6): when a prefetch arrives late (the
+	// demand read merges with it in flight), the entry's prefetch
+	// distance grows, emulating a lookahead that runs far enough ahead
+	// to hide the observed latency.
+	lookahead bool
+}
+
+// NewIDetection returns an I-detection prefetcher with a direct-mapped
+// RPT of entries entries (a power of two; the paper uses 256) and
+// prefetch degree d.
+func NewIDetection(entries, d int) *IDetection {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("prefetch: RPT entries must be a power of two")
+	}
+	if d < 1 {
+		panic("prefetch: degree must be >= 1")
+	}
+	return &IDetection{
+		entries: make([]rptEntry, entries),
+		mask:    uint32(entries - 1),
+		degree:  d,
+	}
+}
+
+// NewLookaheadIDetection returns the dynamic-lookahead variant of
+// I-detection, standing in for Baer and Chen's lookahead-PC scheme
+// (paper §6): the prefetch distance of a load instruction stretches
+// when its prefetches are observed to arrive late.
+func NewLookaheadIDetection(entries, d int) *IDetection {
+	p := NewIDetection(entries, d)
+	p.lookahead = true
+	return p
+}
+
+// maxLookahead caps the dynamic prefetch distance, in stride units.
+const maxLookahead = 8
+
+// Name implements Prefetcher.
+func (p *IDetection) Name() string {
+	if p.lookahead {
+		return "I-det-LA"
+	}
+	return "I-det"
+}
+
+// distance returns the entry's current prefetch distance in stride
+// units and updates the lookahead adaptation.
+func (p *IDetection) distance(e *rptEntry, r Request) int {
+	if !p.lookahead {
+		return p.degree
+	}
+	if e.dist < uint8(p.degree) {
+		e.dist = uint8(p.degree)
+	}
+	switch {
+	case r.Merged:
+		// Late prefetch: run further ahead.
+		if e.dist < maxLookahead {
+			e.dist++
+		}
+		e.timely = 0
+	case r.TagConsumed:
+		// In-time consumption; decay slowly back toward the degree.
+		e.timely++
+		if e.timely >= 32 && e.dist > uint8(p.degree) {
+			e.dist--
+			e.timely = 0
+		}
+	}
+	return int(e.dist)
+}
+
+// OnRead implements Prefetcher. Every read presented to the SLC is
+// matched against the RPT; new entries are allocated on SLC misses only
+// (paper §3.2).
+func (p *IDetection) OnRead(r Request, emit func(mem.Block)) {
+	e := &p.entries[uint32(r.PC)&p.mask]
+	if !e.valid || e.pc != r.PC {
+		if r.Hit {
+			return // allocate on SLC miss only
+		}
+		*e = rptEntry{pc: r.PC, valid: true, prev: r.Addr, state: rptNew}
+		return
+	}
+
+	if e.state == rptNew {
+		// Second appearance: compute the stride, move to init, and
+		// start prefetching (paper Figure 4).
+		e.stride = int64(r.Addr) - int64(e.prev)
+		e.prev = r.Addr
+		e.state = rptInit
+		p.launch(r.Addr, e.stride, p.degree, emit)
+		return
+	}
+
+	correct := int64(r.Addr) == int64(e.prev)+e.stride
+	prevPrev := e.prev
+	e.prev = r.Addr
+	switch e.state {
+	case rptSteady:
+		if !correct {
+			e.state = rptInit // single incorrect: keep stride
+		}
+	case rptInit:
+		if correct {
+			e.state = rptSteady
+		} else {
+			// Second incorrect in a row: recalculate the stride from
+			// the preceding two addresses.
+			e.stride = int64(r.Addr) - int64(prevPrev)
+			e.state = rptTransient
+		}
+	case rptTransient:
+		if correct {
+			e.state = rptSteady
+		} else {
+			e.stride = int64(r.Addr) - int64(prevPrev)
+			e.state = rptNoPref
+		}
+	case rptNoPref:
+		if correct {
+			e.state = rptTransient
+		} else {
+			e.stride = int64(r.Addr) - int64(prevPrev)
+		}
+	}
+
+	if e.state == rptNoPref || e.stride == 0 {
+		return
+	}
+	d := p.distance(e, r)
+	if correct {
+		if r.TagConsumed || !r.Hit {
+			// Continue the sequence: the block d*S ahead (§3.3). On a
+			// miss the earlier blocks are launched too, recovering
+			// sequences whose prefetches were lost.
+			if !r.Hit {
+				p.launch(r.Addr, e.stride, d, emit)
+			} else {
+				emit(blockAt(r.Addr, int64(d)*e.stride))
+			}
+		}
+	} else if e.state != rptNoPref {
+		// New potential sequence: prefetch ahead along the (possibly
+		// recalculated) stride.
+		p.launch(r.Addr, e.stride, d, emit)
+	}
+}
+
+// launch proposes blocks addr+S .. addr+d*S.
+func (p *IDetection) launch(addr mem.Addr, stride int64, d int, emit func(mem.Block)) {
+	if stride == 0 {
+		return
+	}
+	for k := 1; k <= d; k++ {
+		emit(blockAt(addr, int64(k)*stride))
+	}
+}
+
+func blockAt(addr mem.Addr, delta int64) mem.Block {
+	return mem.BlockOf(mem.Addr(int64(addr) + delta))
+}

@@ -1,0 +1,408 @@
+package prefetch
+
+import (
+	"testing"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/trace"
+)
+
+// collect runs one OnRead and returns the proposed blocks.
+func collect(p Prefetcher, r Request) []mem.Block {
+	var out []mem.Block
+	p.OnRead(r, func(b mem.Block) { out = append(out, b) })
+	return out
+}
+
+func miss(pc trace.PC, addr mem.Addr) Request {
+	return Request{PC: pc, Addr: addr, Block: mem.BlockOf(addr)}
+}
+
+func taggedHit(pc trace.PC, addr mem.Addr) Request {
+	return Request{PC: pc, Addr: addr, Block: mem.BlockOf(addr), Hit: true, TagConsumed: true}
+}
+
+func plainHit(pc trace.PC, addr mem.Addr) Request {
+	return Request{PC: pc, Addr: addr, Block: mem.BlockOf(addr), Hit: true}
+}
+
+func equalBlocks(a, b []mem.Block) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNoneNeverPrefetches(t *testing.T) {
+	var p None
+	if got := collect(p, miss(1, 64)); got != nil {
+		t.Fatalf("baseline proposed %v", got)
+	}
+	if got := collect(p, taggedHit(1, 64)); got != nil {
+		t.Fatalf("baseline proposed %v on tagged hit", got)
+	}
+	if p.Name() != "baseline" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestSequentialMissPrefetchesDegreeBlocks(t *testing.T) {
+	p := NewSequential(3)
+	got := collect(p, miss(0, 10*32))
+	if !equalBlocks(got, []mem.Block{11, 12, 13}) {
+		t.Fatalf("miss to block 10 proposed %v, want [11 12 13]", got)
+	}
+}
+
+func TestSequentialTaggedHitPrefetchesDAhead(t *testing.T) {
+	p := NewSequential(2)
+	got := collect(p, taggedHit(0, 20*32))
+	if !equalBlocks(got, []mem.Block{22}) {
+		t.Fatalf("tagged hit on block 20 proposed %v, want [22]", got)
+	}
+}
+
+func TestSequentialPlainHitSilent(t *testing.T) {
+	p := NewSequential(1)
+	if got := collect(p, plainHit(0, 640)); got != nil {
+		t.Fatalf("plain hit proposed %v", got)
+	}
+}
+
+func TestSequentialChainCoversConsecutiveBlocks(t *testing.T) {
+	// The §3.4 example: miss B, then hits on tagged B+1, B+2 prefetch
+	// B+1+d and B+2+d.
+	p := NewSequential(1)
+	if got := collect(p, miss(0, 100*32)); !equalBlocks(got, []mem.Block{101}) {
+		t.Fatalf("initial miss proposed %v", got)
+	}
+	if got := collect(p, taggedHit(0, 101*32)); !equalBlocks(got, []mem.Block{102}) {
+		t.Fatalf("hit on B+1 proposed %v", got)
+	}
+	if got := collect(p, taggedHit(0, 102*32)); !equalBlocks(got, []mem.Block{103}) {
+		t.Fatalf("hit on B+2 proposed %v", got)
+	}
+}
+
+func TestNewSequentialPanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSequential(0) did not panic")
+		}
+	}()
+	NewSequential(0)
+}
+
+func TestIDetectionFirstMissAllocatesSilently(t *testing.T) {
+	p := NewIDetection(256, 1)
+	if got := collect(p, miss(7, 1000)); got != nil {
+		t.Fatalf("first miss proposed %v", got)
+	}
+}
+
+func TestIDetectionSecondAccessDetectsStride(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, miss(7, 10*32))
+	got := collect(p, miss(7, 14*32)) // stride 4 blocks
+	if !equalBlocks(got, []mem.Block{18}) {
+		t.Fatalf("second access proposed %v, want [18]", got)
+	}
+}
+
+func TestIDetectionDegreeLaunchesWholeWindow(t *testing.T) {
+	p := NewIDetection(256, 3)
+	collect(p, miss(7, 10*32))
+	got := collect(p, miss(7, 12*32)) // stride 2 blocks
+	if !equalBlocks(got, []mem.Block{14, 16, 18}) {
+		t.Fatalf("launch proposed %v, want [14 16 18]", got)
+	}
+}
+
+func TestIDetectionContinuesOnTaggedHit(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, miss(7, 10*32))
+	collect(p, miss(7, 14*32))
+	// Prefetched block 18 arrives; processor consumes it.
+	got := collect(p, taggedHit(7, 18*32))
+	if !equalBlocks(got, []mem.Block{22}) {
+		t.Fatalf("tagged continuation proposed %v, want [22]", got)
+	}
+}
+
+func TestIDetectionZeroStrideSilent(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, miss(7, 1000))
+	if got := collect(p, miss(7, 1000)); got != nil {
+		t.Fatalf("zero stride proposed %v", got)
+	}
+}
+
+func TestIDetectionNoPrefAfterThreeIncorrect(t *testing.T) {
+	p := NewIDetection(256, 1)
+	a := mem.Addr(32 * 32)
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+32))   // stride 32 → init
+	collect(p, miss(7, a+64))   // correct → steady
+	collect(p, miss(7, a+1000)) // incorrect 1 → init
+	collect(p, miss(7, a+5000)) // incorrect 2 → transient
+	collect(p, miss(7, a+9999)) // incorrect 3 → no-pref
+	// Now even a would-be stride access must stay silent until a
+	// correct prediction rebuilds confidence.
+	if got := collect(p, miss(7, a+20000)); got != nil {
+		t.Fatalf("no-pref state proposed %v", got)
+	}
+}
+
+func TestIDetectionRecoversFromNoPref(t *testing.T) {
+	p := NewIDetection(256, 1)
+	a := mem.Addr(32 * 32)
+	// Drive into no-pref.
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+32))
+	collect(p, miss(7, a+1000))
+	collect(p, miss(7, a+5000))
+	collect(p, miss(7, a+9000))
+	collect(p, miss(7, a+13000)) // stride settles at 4000
+	// In no-pref a correct prediction moves to transient (prefetching).
+	got := collect(p, miss(7, a+17000))
+	if len(got) == 0 {
+		t.Fatal("correct prediction in no-pref did not resume prefetching")
+	}
+}
+
+func TestIDetectionSingleIncorrectKeepsStride(t *testing.T) {
+	p := NewIDetection(256, 1)
+	a := mem.Addr(100 * 32)
+	collect(p, miss(7, a))
+	collect(p, miss(7, a+64)) // stride 2 blocks → init
+	collect(p, miss(7, a+128))
+	collect(p, miss(7, a+192)) // steady
+	collect(p, miss(7, 5000*32))
+	// steady → init kept stride 64; a correct access from the new
+	// position continues with stride 64.
+	got := collect(p, miss(7, 5000*32+64))
+	if !equalBlocks(got, []mem.Block{5004}) {
+		t.Fatalf("after single incorrect, proposed %v, want [5004] (stride kept)", got)
+	}
+}
+
+func TestIDetectionAllocatesOnMissOnly(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, plainHit(9, 1000)) // hit, unknown PC: no allocation
+	// If PC 9 had been allocated, this would be its "second appearance"
+	// and a stride would be computed; silence proves no allocation.
+	if got := collect(p, miss(9, 2000)); got != nil {
+		t.Fatalf("hit allocated an RPT entry: proposed %v", got)
+	}
+}
+
+func TestIDetectionConflictEvicts(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, miss(1, 32*32))
+	collect(p, miss(1, 33*32)) // PC 1 in init, stride 1 block
+	collect(p, miss(257, 999*32))
+	// PC 257 maps to the same entry; PC 1's state is gone.
+	if got := collect(p, miss(1, 34*32)); got != nil {
+		t.Fatalf("evicted entry still predicted: %v", got)
+	}
+}
+
+func TestIDetectionNegativeStride(t *testing.T) {
+	p := NewIDetection(256, 1)
+	collect(p, miss(7, 100*32))
+	got := collect(p, miss(7, 96*32))
+	if !equalBlocks(got, []mem.Block{92}) {
+		t.Fatalf("negative stride proposed %v, want [92]", got)
+	}
+}
+
+func TestIDetectionPanicsOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"entries not power of two": func() { NewIDetection(100, 1) },
+		"zero degree":              func() { NewIDetection(256, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// driveDDet feeds a pure stride-s (blocks) miss sequence and returns the
+// index of the first miss that produced a prefetch, or -1.
+func driveDDet(p *DDetection, start mem.Block, s, n int) int {
+	for i := 0; i < n; i++ {
+		b := mem.Block(int64(start) + int64(i)*int64(s))
+		got := collect(p, miss(0, mem.BlockAddr(b)))
+		if len(got) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDDetectionInitiatesAfterSixMisses(t *testing.T) {
+	// Threshold 3 → 4 misses to promote the stride, 2 more to initiate:
+	// the 6th miss (index 5) launches the first prefetch (§3.2).
+	p := NewDefaultDDetection(1)
+	if idx := driveDDet(p, 1000, 3, 10); idx != 5 {
+		t.Fatalf("first prefetch at miss index %d, want 5", idx)
+	}
+}
+
+func TestDDetectionPrefetchTargetsStride(t *testing.T) {
+	p := NewDefaultDDetection(1)
+	var last []mem.Block
+	for i := 0; i < 6; i++ {
+		b := mem.Block(1000 + 3*i)
+		last = collect(p, miss(0, mem.BlockAddr(b)))
+	}
+	// Miss index 5 is block 1015; the stream expects 1018 next.
+	if !equalBlocks(last, []mem.Block{1018}) {
+		t.Fatalf("prefetch proposed %v, want [1018]", last)
+	}
+}
+
+func TestDDetectionTaggedHitContinuesStream(t *testing.T) {
+	p := NewDefaultDDetection(1)
+	for i := 0; i < 6; i++ {
+		collect(p, miss(0, mem.BlockAddr(mem.Block(1000+3*i))))
+	}
+	got := collect(p, taggedHit(0, mem.BlockAddr(1018)))
+	if !equalBlocks(got, []mem.Block{1021}) {
+		t.Fatalf("tagged continuation proposed %v, want [1021]", got)
+	}
+}
+
+func TestDDetectionSecondStreamStartsFaster(t *testing.T) {
+	// Once a stride is common, a brand-new stream with the same stride
+	// needs only insert + confirm: prefetching from its 2nd/3rd miss,
+	// well before the 6 misses the first stream needed.
+	p := NewDefaultDDetection(1)
+	driveDDet(p, 1000, 3, 8)
+	idx := driveDDet(p, 500000, 3, 8)
+	if idx < 0 || idx > 2 {
+		t.Fatalf("second stream first prefetch at index %d, want <= 2", idx)
+	}
+}
+
+func TestDDetectionRandomMissesStaySilent(t *testing.T) {
+	p := NewDefaultDDetection(1)
+	// Misses with all-distinct pairwise strides never promote anything.
+	blocks := []mem.Block{10, 1000, 130, 77000, 42, 991, 123456, 7}
+	for _, b := range blocks {
+		if got := collect(p, miss(0, mem.BlockAddr(b))); got != nil {
+			t.Fatalf("random miss stream proposed %v", got)
+		}
+	}
+}
+
+func TestDDetectionIgnoresPlainHits(t *testing.T) {
+	p := NewDefaultDDetection(1)
+	for i := 0; i < 20; i++ {
+		if got := collect(p, plainHit(0, mem.BlockAddr(mem.Block(100+i)))); got != nil {
+			t.Fatalf("plain hit proposed %v", got)
+		}
+	}
+}
+
+func TestDDetectionNegativeStrideStream(t *testing.T) {
+	p := NewDefaultDDetection(1)
+	if idx := driveDDet(p, 100000, -2, 10); idx != 5 {
+		t.Fatalf("negative-stride stream first prefetch at %d, want 5", idx)
+	}
+}
+
+func TestDDetectionDegreeLaunch(t *testing.T) {
+	p := NewDefaultDDetection(3)
+	var last []mem.Block
+	for i := 0; i < 6; i++ {
+		last = collect(p, miss(0, mem.BlockAddr(mem.Block(2000+5*i))))
+	}
+	// Activation at block 2025: launch 2030, 2035, 2040.
+	if !equalBlocks(last, []mem.Block{2030, 2035, 2040}) {
+		t.Fatalf("degree-3 launch proposed %v", last)
+	}
+}
+
+func TestDDetectionPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	NewDDetection(0, 3, 1)
+}
+
+func TestAdaptiveRaisesDegreeWhenUseful(t *testing.T) {
+	p := NewAdaptive(1)
+	b := mem.Block(1 << 20)
+	collect(p, miss(0, mem.BlockAddr(b)))
+	// Consume every prefetched block: sustained perfect locality.
+	for i := 1; i < 200; i++ {
+		collect(p, taggedHit(0, mem.BlockAddr(b+mem.Block(i))))
+	}
+	if p.Degree() <= 1 {
+		t.Fatalf("degree = %d after perfect locality, want > 1", p.Degree())
+	}
+}
+
+func TestAdaptiveDropsToZeroWhenUseless(t *testing.T) {
+	p := NewAdaptive(4)
+	// Misses whose prefetches are never consumed.
+	for i := 0; i < 200; i++ {
+		collect(p, miss(0, mem.BlockAddr(mem.Block(i*1000))))
+	}
+	if p.Degree() != 0 {
+		t.Fatalf("degree = %d after zero locality, want 0", p.Degree())
+	}
+}
+
+func TestAdaptiveProbesAtDegreeZero(t *testing.T) {
+	p := NewAdaptive(0)
+	issued := 0
+	for i := 0; i < 16; i++ {
+		issued += len(collect(p, miss(0, mem.BlockAddr(mem.Block(i*1000)))))
+	}
+	if issued == 0 {
+		t.Fatal("degree-0 adaptive never probed")
+	}
+	if issued > 8 {
+		t.Fatalf("degree-0 adaptive issued %d prefetches in 16 misses; probing too hot", issued)
+	}
+}
+
+func TestAdaptiveRecoversFromZero(t *testing.T) {
+	p := NewAdaptive(0)
+	b := mem.Block(1 << 18)
+	// Sequential misses: probes get consumed, degree should come back.
+	for i := 0; i < 400; i++ {
+		addr := mem.BlockAddr(b + mem.Block(i))
+		got := collect(p, miss(0, addr))
+		for range got {
+			// Simulate consumption of each issued prefetch.
+			collect(p, taggedHit(0, mem.BlockAddr(b+mem.Block(i+1))))
+		}
+	}
+	if p.Degree() == 0 {
+		t.Fatal("adaptive never recovered from degree 0")
+	}
+}
+
+func TestPrefetcherNames(t *testing.T) {
+	if NewSequential(1).Name() != "Seq" ||
+		NewIDetection(256, 1).Name() != "I-det" ||
+		NewDefaultDDetection(1).Name() != "D-det" ||
+		NewAdaptive(1).Name() != "Adaptive" {
+		t.Fatal("scheme names changed; reports depend on them")
+	}
+}

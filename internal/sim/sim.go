@@ -1,0 +1,158 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in pclocks (1 pclock = 10 ns, a 100 MHz processor
+// clock, per Table 1 of the paper). Events are totally ordered by
+// (time, insertion sequence) so that simulations are reproducible
+// run-to-run regardless of map iteration order or scheduling.
+package sim
+
+import "container/heap"
+
+// Time is a point in simulated time, in pclocks.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic event-driven simulator. The zero value is
+// ready to use.
+type Engine struct {
+	queue eventHeap
+	now   Time
+	seq   uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d pclocks from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextTime returns the time of the earliest pending event and true, or
+// (0, false) if the queue is empty. Components use this to bound how far
+// they may batch-advance local state without violating causality.
+func (e *Engine) NextTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// Step runs the earliest event. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or until limit events have
+// run (limit <= 0 means no limit). It returns the number of events run.
+func (e *Engine) Run(limit int64) int64 {
+	var n int64
+	for e.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// Resource models a unit that serves one request at a time (a bus, a
+// memory bank, an SLC array). Acquire returns the time service can start
+// for a request arriving at t, and marks the resource busy for hold
+// pclocks from that start.
+type Resource struct {
+	freeAt Time
+	// Busy accumulates total busy time, for utilization stats.
+	Busy Time
+}
+
+// Acquire reserves the resource for hold pclocks for a request arriving
+// at t, returning the service start time.
+func (r *Resource) Acquire(t Time, hold Time) Time {
+	start := t
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	r.freeAt = start + hold
+	r.Busy += hold
+	return start
+}
+
+// FreeAt returns the time the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Rand is a small, fast, deterministic PRNG (xorshift64*). Applications
+// use it so that workloads are reproducible across runs and platforms.
+type Rand struct{ s uint64 }
+
+// NewRand returns a PRNG seeded with seed (0 is remapped to a fixed
+// nonzero constant, since xorshift cannot hold state 0).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

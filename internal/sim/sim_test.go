@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreaksByInsertion(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	var e Engine
+	var at Time
+	e.At(100, func() {
+		e.After(7, func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != 107 {
+		t.Fatalf("After fired at %d, want 107", at)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineNextTime(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextTime(); ok {
+		t.Fatal("NextTime on empty queue reported an event")
+	}
+	e.At(42, func() {})
+	if next, ok := e.NextTime(); !ok || next != 42 {
+		t.Fatalf("NextTime = %d,%v want 42,true", next, ok)
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	var e Engine
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { n++ })
+	}
+	if ran := e.Run(4); ran != 4 || n != 4 {
+		t.Fatalf("Run(4) ran %d events (n=%d), want 4", ran, n)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 5 {
+			depth++
+			e.After(1, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run(0)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	if s := r.Acquire(10, 3); s != 10 {
+		t.Fatalf("first acquire start = %d, want 10", s)
+	}
+	if s := r.Acquire(10, 3); s != 13 {
+		t.Fatalf("contended acquire start = %d, want 13", s)
+	}
+	if s := r.Acquire(100, 3); s != 100 {
+		t.Fatalf("idle acquire start = %d, want 100", s)
+	}
+	if r.Busy != 9 {
+		t.Fatalf("Busy = %d, want 9", r.Busy)
+	}
+}
+
+func TestResourceStartNeverBeforeArrival(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		var r Resource
+		var prevEnd Time
+		for _, a := range arrivals {
+			at := Time(a)
+			start := r.Acquire(at, 2)
+			if start < at {
+				return false
+			}
+			if start < prevEnd {
+				return false // overlapping service
+			}
+			prevEnd = start + 2
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(12345), NewRand(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed PRNGs diverged")
+		}
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("zero-seeded PRNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestRandIntnInRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandFloat64InRange(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

@@ -1,0 +1,138 @@
+// Package stats collects the measurements the paper reports: read
+// misses, prefetch efficiency, read stall time (Figure 6), miss
+// classification (cold/coherence/replacement, §5.1 and §5.3), and
+// traffic.
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"prefetchsim/internal/sim"
+)
+
+// Node holds per-processor counters.
+type Node struct {
+	Reads  int64
+	Writes int64
+
+	FLCReadHits int64
+	SLCReadHits int64
+	// ReadMisses counts demand read misses at the SLC. A read that
+	// merges with an in-flight prefetch is a DelayedHit instead: the
+	// prefetch removed the miss, and the residual latency appears in
+	// ReadStall (see DESIGN.md).
+	ReadMisses int64
+	// DelayedHits counts demand reads that found their block already
+	// being prefetched.
+	DelayedHits int64
+
+	ColdMisses        int64
+	CoherenceMisses   int64
+	ReplacementMisses int64
+
+	// ReadStall is total time the processor was blocked on reads beyond
+	// the 1-pclock FLC hit time.
+	ReadStall sim.Time
+	// WriteStall is time blocked on full write buffers.
+	WriteStall sim.Time
+	// SyncStall is time blocked in acquires, releases and barriers.
+	SyncStall sim.Time
+
+	PrefetchesIssued int64
+	// PrefetchesUseful counts prefetched blocks consumed by a demand
+	// reference, including demand reads that merged with the prefetch
+	// in flight.
+	PrefetchesUseful int64
+	PrefetchesMerged int64
+	// PrefetchesUnconsumed is set at the end of a run: prefetched
+	// blocks still tagged in the SLC (never referenced).
+	PrefetchesUnconsumed int64
+
+	InvalidationsReceived int64
+	Writebacks            int64
+
+	// ExecTime is the processor's local time when it executed End.
+	ExecTime sim.Time
+}
+
+// Machine aggregates per-node counters plus system-wide traffic.
+type Machine struct {
+	Nodes []Node
+
+	// Network traffic (from the mesh).
+	NetMessages int64
+	NetFlits    int64
+	NetFlitHops int64
+
+	// ExecTime is the whole-machine execution time (max over nodes).
+	ExecTime sim.Time
+}
+
+// New returns a Machine with n per-node entries.
+func New(n int) *Machine { return &Machine{Nodes: make([]Node, n)} }
+
+// TotalReads sums demand reads across nodes.
+func (m *Machine) TotalReads() int64 { return m.sum(func(n *Node) int64 { return n.Reads }) }
+
+// TotalReadMisses sums demand SLC read misses across nodes.
+func (m *Machine) TotalReadMisses() int64 {
+	return m.sum(func(n *Node) int64 { return n.ReadMisses })
+}
+
+// TotalReadStall sums read stall time across nodes.
+func (m *Machine) TotalReadStall() sim.Time {
+	var t sim.Time
+	for i := range m.Nodes {
+		t += m.Nodes[i].ReadStall
+	}
+	return t
+}
+
+// TotalPrefetchesIssued sums issued prefetches.
+func (m *Machine) TotalPrefetchesIssued() int64 {
+	return m.sum(func(n *Node) int64 { return n.PrefetchesIssued })
+}
+
+// TotalPrefetchesUseful sums useful prefetches.
+func (m *Machine) TotalPrefetchesUseful() int64 {
+	return m.sum(func(n *Node) int64 { return n.PrefetchesUseful })
+}
+
+// PrefetchEfficiency is useful/issued (Figure 6, middle); 0 when no
+// prefetches were issued.
+func (m *Machine) PrefetchEfficiency() float64 {
+	issued := m.TotalPrefetchesIssued()
+	if issued == 0 {
+		return 0
+	}
+	return float64(m.TotalPrefetchesUseful()) / float64(issued)
+}
+
+func (m *Machine) sum(f func(*Node) int64) int64 {
+	var t int64
+	for i := range m.Nodes {
+		t += f(&m.Nodes[i])
+	}
+	return t
+}
+
+// String renders a compact human-readable report.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec time: %d pclocks\n", m.ExecTime)
+	fmt.Fprintf(&b, "reads: %d  read misses: %d (cold %d, coherence %d, replacement %d)\n",
+		m.TotalReads(), m.TotalReadMisses(),
+		m.sum(func(n *Node) int64 { return n.ColdMisses }),
+		m.sum(func(n *Node) int64 { return n.CoherenceMisses }),
+		m.sum(func(n *Node) int64 { return n.ReplacementMisses }))
+	fmt.Fprintf(&b, "read stall: %d pclocks; delayed hits (in-flight prefetch): %d\n",
+		m.TotalReadStall(), m.sum(func(n *Node) int64 { return n.DelayedHits }))
+	fmt.Fprintf(&b, "prefetches: issued %d, useful %d (efficiency %.3f), merged %d, unconsumed %d\n",
+		m.TotalPrefetchesIssued(), m.TotalPrefetchesUseful(), m.PrefetchEfficiency(),
+		m.sum(func(n *Node) int64 { return n.PrefetchesMerged }),
+		m.sum(func(n *Node) int64 { return n.PrefetchesUnconsumed }))
+	fmt.Fprintf(&b, "network: %d messages, %d flits, %d flit-hops\n",
+		m.NetMessages, m.NetFlits, m.NetFlitHops)
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAggregation(t *testing.T) {
+	m := New(3)
+	m.Nodes[0].Reads = 10
+	m.Nodes[1].Reads = 20
+	m.Nodes[2].Reads = 30
+	m.Nodes[0].ReadMisses = 1
+	m.Nodes[2].ReadMisses = 4
+	m.Nodes[1].ReadStall = 100
+	m.Nodes[2].ReadStall = 50
+	if m.TotalReads() != 60 {
+		t.Fatalf("TotalReads = %d", m.TotalReads())
+	}
+	if m.TotalReadMisses() != 5 {
+		t.Fatalf("TotalReadMisses = %d", m.TotalReadMisses())
+	}
+	if m.TotalReadStall() != 150 {
+		t.Fatalf("TotalReadStall = %d", m.TotalReadStall())
+	}
+}
+
+func TestPrefetchEfficiency(t *testing.T) {
+	m := New(2)
+	if m.PrefetchEfficiency() != 0 {
+		t.Fatal("efficiency with no prefetches must be 0")
+	}
+	m.Nodes[0].PrefetchesIssued = 8
+	m.Nodes[1].PrefetchesIssued = 2
+	m.Nodes[0].PrefetchesUseful = 5
+	if got := m.PrefetchEfficiency(); got != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", got)
+	}
+}
+
+func TestStringContainsEverything(t *testing.T) {
+	m := New(1)
+	m.Nodes[0].ReadMisses = 7
+	m.Nodes[0].DelayedHits = 3
+	m.ExecTime = 1234
+	s := m.String()
+	for _, want := range []string{"1234", "read misses: 7", "delayed hits", "network"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

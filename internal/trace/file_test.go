@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() *Program {
+	return &Program{
+		Name: "sample",
+		Streams: []Stream{
+			NewSliceStream([]Op{
+				{Kind: Read, PC: 1, Addr: 4096, Gap: 3},
+				{Kind: Read, PC: 1, Addr: 4128, Gap: 3},
+				{Kind: Write, PC: 2, Addr: 4096, Gap: 1},
+				{Kind: Acquire, Addr: 8192},
+				{Kind: Release, Addr: 8192},
+				{Kind: Barrier, Addr: 0},
+			}),
+			NewSliceStream([]Op{
+				{Kind: Read, PC: 9, Addr: 1 << 40, Gap: 0}, // large address
+				{Kind: Read, PC: 9, Addr: 64, Gap: 0},      // negative delta
+				{Kind: Barrier, Addr: 0},
+			}),
+		},
+	}
+}
+
+func drain(s Stream) []Op {
+	var ops []Op
+	for {
+		op := s.Next()
+		if op.Kind == End {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, sampleProgram()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleProgram()
+	if got.Name != "sample" || len(got.Streams) != 2 {
+		t.Fatalf("header: name=%q streams=%d", got.Name, len(got.Streams))
+	}
+	for i := range want.Streams {
+		w, g := drain(want.Streams[i]), drain(got.Streams[i])
+		if len(w) != len(g) {
+			t.Fatalf("stream %d: %d ops, want %d", i, len(g), len(w))
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("stream %d op %d: %+v, want %+v", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripRandomPrograms(t *testing.T) {
+	f := func(raw []uint32, procsRaw uint8) bool {
+		procs := int(procsRaw%4) + 1
+		want := &Program{Name: "q"}
+		streams := make([][]Op, procs)
+		for i, r := range raw {
+			p := i % procs
+			op := Op{}
+			switch r % 5 {
+			case 0, 1:
+				op = Op{Kind: Read, PC: PC(r >> 8), Addr: uint64(r) * 13, Gap: r % 100}
+			case 2:
+				op = Op{Kind: Write, PC: PC(r % 64), Addr: uint64(r), Gap: r % 7}
+			case 3:
+				op = Op{Kind: Acquire, Addr: uint64(r%1024) * 4096}
+				streams[p] = append(streams[p], op)
+				op = Op{Kind: Release, Addr: uint64(r%1024) * 4096}
+			case 4:
+				op = Op{Kind: Barrier, Addr: uint64(len(streams[p]))}
+			}
+			streams[p] = append(streams[p], op)
+		}
+		for _, ops := range streams {
+			want.Streams = append(want.Streams, NewSliceStream(ops))
+		}
+		var buf bytes.Buffer
+		if err := WriteProgram(&buf, want); err != nil {
+			return false
+		}
+		got, err := ReadProgram(&buf)
+		if err != nil {
+			return false
+		}
+		for p := range streams {
+			g := drain(got.Streams[p])
+			if len(g) != len(streams[p]) {
+				return false
+			}
+			for j := range g {
+				if g[j] != streams[p][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadProgramRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"wrong magic": "NOTATRACE\n\x00",
+		"truncated":   "PFSIM1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadProgram(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadProgramRejectsTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, sampleProgram()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadProgram(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("accepted truncated trace")
+	}
+}
+
+func TestDeltaEncodingIsCompact(t *testing.T) {
+	// A strided stream must cost only a few bytes per op.
+	var ops []Op
+	for i := 0; i < 10000; i++ {
+		ops = append(ops, Op{Kind: Read, PC: 3, Addr: uint64(4096 + i*32), Gap: 2})
+	}
+	var buf bytes.Buffer
+	err := WriteProgram(&buf, &Program{Name: "s", Streams: []Stream{NewSliceStream(ops)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perOp := float64(buf.Len()) / 10000; perOp > 6 {
+		t.Fatalf("%.1f bytes/op; delta encoding broken", perOp)
+	}
+}

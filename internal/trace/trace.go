@@ -1,0 +1,237 @@
+// Package trace defines the memory-reference stream an application
+// presents to the architecture simulator: one program-ordered sequence of
+// operations per processor.
+//
+// The paper drives its simulator with SPARC binaries on the CacheMire
+// test bench; instructions and private data are assumed to always hit in
+// the first-level cache. We mirror that: applications emit only
+// shared-data references, each carrying a synthetic load-site PC (needed
+// by I-detection stride prefetching) and a Gap of think pclocks covering
+// the instructions and private accesses executed since the previous
+// shared reference.
+package trace
+
+// Kind classifies an operation.
+type Kind uint8
+
+const (
+	// Read is a shared-data load. Blocking: the processor stalls until
+	// the value is available (paper §2, blocking-load processor).
+	Read Kind = iota
+	// Write is a shared-data store. Buffered in the FLWB/SLWB under
+	// release consistency; the processor does not stall unless a write
+	// buffer is full.
+	Write
+	// Acquire obtains the queue-based lock at Addr's home memory. The
+	// processor stalls until the lock is granted.
+	Acquire
+	// Release frees the lock at Addr. Under release consistency it first
+	// waits for the processor's outstanding writes to complete.
+	Release
+	// Barrier blocks until all processors have issued a Barrier with the
+	// same sequence number (the Addr field carries the barrier episode).
+	Barrier
+	// End marks the end of the processor's program.
+	End
+)
+
+var kindNames = [...]string{"Read", "Write", "Acquire", "Release", "Barrier", "End"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "Kind(?)"
+}
+
+// PC identifies a static load/store site. Distinct program loops use
+// distinct PCs; the I-detection scheme keys its Reference Prediction
+// Table on this value.
+type PC uint32
+
+// Op is one operation in a processor's program-ordered stream.
+type Op struct {
+	Kind Kind
+	PC   PC
+	Addr uint64
+	// Gap is local compute time, in pclocks, spent before this
+	// operation issues (instructions + private references, which the
+	// paper treats as always hitting in the FLC).
+	Gap uint32
+}
+
+// Stream delivers one processor's operations in program order.
+type Stream interface {
+	// Next returns the next operation. After an End op has been
+	// returned, Next keeps returning End.
+	Next() Op
+}
+
+// SliceStream replays a fixed slice of operations; the final op need not
+// be End (one is synthesized). Used heavily in tests.
+type SliceStream struct {
+	ops []Op
+	i   int
+}
+
+// NewSliceStream returns a Stream over ops.
+func NewSliceStream(ops []Op) *SliceStream { return &SliceStream{ops: ops} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() Op {
+	if s.i >= len(s.ops) {
+		return Op{Kind: End}
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op
+}
+
+// batchSize is the number of ops moved per channel transfer in ChanStream.
+// Large enough to amortize channel overhead to well under a nanosecond
+// per op, small enough to keep per-processor buffering tiny.
+const batchSize = 1024
+
+// ChanStream adapts a producer goroutine to the Stream interface. The
+// producer writes ops through an Emitter; the consumer pulls them with
+// Next. Production is lazy and bounded (a few batches in flight), so a
+// multi-million-reference program never materializes in memory.
+type ChanStream struct {
+	ch   chan []Op
+	quit chan struct{}
+	cur  []Op
+	i    int
+	done bool
+}
+
+// Emitter is the producer side of a ChanStream.
+type Emitter struct {
+	ch   chan []Op
+	quit chan struct{}
+	buf  []Op
+}
+
+// NewChanStream starts produce in its own goroutine and returns the
+// consuming stream. produce must call Emitter methods only, and returns
+// when the program is complete (End is appended automatically) or when
+// emission fails because the consumer called Stop.
+func NewChanStream(produce func(*Emitter)) *ChanStream {
+	s := &ChanStream{
+		ch:   make(chan []Op, 4),
+		quit: make(chan struct{}),
+	}
+	e := &Emitter{ch: s.ch, quit: s.quit, buf: make([]Op, 0, batchSize)}
+	go func() {
+		defer close(s.ch)
+		defer func() {
+			// The only panic Emitter raises is emitStopped, used to
+			// unwind the producer promptly after Stop. Anything else is
+			// a real bug and must propagate.
+			if r := recover(); r != nil && r != emitStopped {
+				panic(r)
+			}
+		}()
+		produce(e)
+		e.Emit(Op{Kind: End})
+		e.flush()
+	}()
+	return s
+}
+
+// emitStopped is the sentinel panic used to unwind a producer once the
+// consumer has stopped listening.
+var emitStopped = new(int)
+
+// Emit appends one op to the stream. If the consumer has called Stop,
+// Emit unwinds the producer goroutine.
+func (e *Emitter) Emit(op Op) {
+	e.buf = append(e.buf, op)
+	if len(e.buf) == batchSize {
+		e.flush()
+	}
+}
+
+// Read emits a shared load of addr from load site pc after gap pclocks
+// of local compute.
+func (e *Emitter) Read(pc PC, addr uint64, gap uint32) {
+	e.Emit(Op{Kind: Read, PC: pc, Addr: addr, Gap: gap})
+}
+
+// Write emits a shared store.
+func (e *Emitter) Write(pc PC, addr uint64, gap uint32) {
+	e.Emit(Op{Kind: Write, PC: pc, Addr: addr, Gap: gap})
+}
+
+// Acquire emits a lock acquire of the lock at addr.
+func (e *Emitter) Acquire(addr uint64) { e.Emit(Op{Kind: Acquire, Addr: addr}) }
+
+// Release emits a lock release of the lock at addr.
+func (e *Emitter) Release(addr uint64) { e.Emit(Op{Kind: Release, Addr: addr}) }
+
+// Barrier emits a global barrier; episode numbers must increase by one
+// per barrier and match across processors.
+func (e *Emitter) Barrier(episode uint64) { e.Emit(Op{Kind: Barrier, Addr: episode}) }
+
+func (e *Emitter) flush() {
+	if len(e.buf) == 0 {
+		return
+	}
+	batch := e.buf
+	e.buf = make([]Op, 0, batchSize)
+	select {
+	case e.ch <- batch:
+	case <-e.quit:
+		panic(emitStopped)
+	}
+}
+
+// Next implements Stream.
+func (s *ChanStream) Next() Op {
+	for s.i >= len(s.cur) {
+		if s.done {
+			return Op{Kind: End}
+		}
+		batch, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return Op{Kind: End}
+		}
+		s.cur, s.i = batch, 0
+	}
+	op := s.cur[s.i]
+	s.i++
+	if op.Kind == End {
+		s.done = true
+	}
+	return op
+}
+
+// Stop releases the producer goroutine without draining the stream. Safe
+// to call multiple times and after the stream has ended.
+func (s *ChanStream) Stop() {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	// Drain to unblock a producer mid-send.
+	for range s.ch {
+	}
+	s.done = true
+}
+
+// Program is a complete multiprocessor workload: one stream per
+// processor plus a human-readable name.
+type Program struct {
+	Name    string
+	Streams []Stream
+}
+
+// Stop releases any producer goroutines behind the program's streams.
+func (p *Program) Stop() {
+	for _, s := range p.Streams {
+		if cs, ok := s.(*ChanStream); ok {
+			cs.Stop()
+		}
+	}
+}
