@@ -105,6 +105,32 @@ func benchFigure6(b *testing.B, app string) {
 	}
 }
 
+// benchFigure6Workers runs the full six-application Figure 6 sweep
+// through the experiment engine with the given worker count. The
+// Serial/Parallel pair makes the engine's speedup visible in the bench
+// trajectory; their reported rows are identical by construction (see
+// TestFigure6ParallelMatchesSerial).
+func benchFigure6Workers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts()
+		opt.Workers = workers
+		rows, err := prefetchsim.Figure6(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if want := len(prefetchsim.Apps()) * len(prefetchsim.Schemes()); len(rows) != want {
+			b.Fatalf("%d rows, want %d", len(rows), want)
+		}
+	}
+}
+
+// BenchmarkFigure6Serial is the single-worker reference path.
+func BenchmarkFigure6Serial(b *testing.B) { benchFigure6Workers(b, 1) }
+
+// BenchmarkFigure6Parallel fans the same sweep across all cores.
+func BenchmarkFigure6Parallel(b *testing.B) { benchFigure6Workers(b, 0) }
+
 func BenchmarkFigure6_MP3D(b *testing.B)     { benchFigure6(b, "mp3d") }
 func BenchmarkFigure6_Cholesky(b *testing.B) { benchFigure6(b, "cholesky") }
 func BenchmarkFigure6_Water(b *testing.B)    { benchFigure6(b, "water") }

@@ -12,6 +12,10 @@
 //	figure6 -slcsweep 8192,16384,65536 -app ocean -scheme I-det
 //	figure6 -extensions -app lu
 //	figure6 -consistency mp3d ocean
+//	figure6 -j 8                 # fan simulations across 8 workers
+//
+// Simulations fan out across -j worker goroutines (default: all
+// cores); the rows are identical to a serial run regardless of -j.
 package main
 
 import (
@@ -39,9 +43,10 @@ func main() {
 	assoc := flag.String("assoc", "", "comma-separated SLC associativities for the finite-cache ablation on -app")
 	consistency := flag.Bool("consistency", false, "compare release vs sequential consistency")
 	bars := flag.Bool("bars", false, "render the three panels as bar charts, as in the paper")
+	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed}
+	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
 	if args := flag.Args(); len(args) > 0 {
 		opt.Apps = args
 	}

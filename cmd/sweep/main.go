@@ -1,17 +1,20 @@
 // Command sweep runs a factorial sweep over applications, schemes,
 // degrees and cache sizes and emits one CSV row per simulation — the
 // raw-data path for plotting or statistics outside this repository.
+// The simulations fan out across -j worker goroutines; the CSV rows
+// stay in deterministic factorial order regardless of -j.
 //
 // Usage:
 //
 //	sweep -apps lu,water -schemes baseline,I-det,Seq -o results.csv
-//	sweep -apps mp3d -schemes baseline,Seq -slc 0,16384 -degrees 1,2,4
+//	sweep -apps mp3d -schemes baseline,Seq -slc 0,16384 -degrees 1,2,4 -j 8
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +31,72 @@ var header = []string{
 	"net_messages", "net_flits", "net_flit_hops",
 }
 
+// spec is one sweep's full parameterization, decoded from the flags.
+type spec struct {
+	apps    []string
+	schemes []string
+	degrees []int
+	slcs    []int
+	ways    int
+	procs   int
+	scale   int
+	seed    uint64
+	bw      int
+	workers int
+}
+
+// configs expands the factorial design into one Config per CSV row, in
+// the deterministic order the rows are emitted.
+func (s spec) configs() []prefetchsim.Config {
+	var cfgs []prefetchsim.Config
+	for _, app := range s.apps {
+		for _, slc := range s.slcs {
+			for _, scheme := range s.schemes {
+				ds := s.degrees
+				if scheme == "baseline" {
+					ds = []int{1} // degree is meaningless without prefetching
+				}
+				for _, d := range ds {
+					cfgs = append(cfgs, prefetchsim.Config{
+						App:        app,
+						Scheme:     prefetchsim.Scheme(scheme),
+						Degree:     d,
+						Processors: s.procs, Scale: s.scale, Seed: s.seed,
+						SLCBytes: slc, SLCWays: s.ways, BandwidthFactor: s.bw,
+					})
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// sweep runs the factorial design across spec.workers goroutines and
+// writes the CSV to w. A failed configuration is reported on errw and
+// skipped; the remaining rows are still written. It returns the number
+// of data rows written and the number of failed configurations.
+func sweep(s spec, w, errw io.Writer) (rows, failed int, err error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return 0, 0, err
+	}
+	cfgs := s.configs()
+	results, errs := prefetchsim.RunMany(cfgs, s.workers, nil)
+	for i, res := range results {
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(errw, "sweep: %s/%s: %v\n", cfgs[i].App, cfgs[i].Scheme, errs[i])
+			continue
+		}
+		if err := cw.Write(record(res, cfgs[i])); err != nil {
+			return rows, failed, err
+		}
+		rows++
+	}
+	cw.Flush()
+	return rows, failed, cw.Error()
+}
+
 func main() {
 	apps := flag.String("apps", strings.Join(prefetchsim.Apps(), ","), "comma-separated applications")
 	schemes := flag.String("schemes", "baseline,I-det,D-det,Seq", "comma-separated schemes")
@@ -38,55 +107,43 @@ func main() {
 	scale := flag.Int("scale", 1, "data-set scale")
 	seed := flag.Uint64("seed", 0, "workload seed")
 	bw := flag.Int("bandwidth", 1, "bandwidth divisor")
+	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	flag.Parse()
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		exitOn(err)
 		defer f.Close()
 		w = f
 	}
-	cw := csv.NewWriter(w)
-	exitOn(cw.Write(header))
 
 	degreeList, err := ints(*degrees)
 	exitOn(err)
 	slcList, err := ints(*slcs)
 	exitOn(err)
 
-	rows := 0
-	for _, app := range strings.Split(*apps, ",") {
-		for _, slc := range slcList {
-			for _, scheme := range strings.Split(*schemes, ",") {
-				ds := degreeList
-				if scheme == "baseline" {
-					ds = []int{1} // degree is meaningless without prefetching
-				}
-				for _, d := range ds {
-					res, err := prefetchsim.Run(prefetchsim.Config{
-						App:        strings.TrimSpace(app),
-						Scheme:     prefetchsim.Scheme(strings.TrimSpace(scheme)),
-						Degree:     d,
-						Processors: *procs, Scale: *scale, Seed: *seed,
-						SLCBytes: slc, SLCWays: *ways, BandwidthFactor: *bw,
-					})
-					exitOn(err)
-					exitOn(cw.Write(record(res, d, slc, *ways, *procs, *scale, *bw)))
-					rows++
-				}
-			}
-		}
+	s := spec{
+		apps:    splitTrim(*apps),
+		schemes: splitTrim(*schemes),
+		degrees: degreeList,
+		slcs:    slcList,
+		ways:    *ways, procs: *procs, scale: *scale, seed: *seed, bw: *bw,
+		workers: *workers,
 	}
-	cw.Flush()
-	exitOn(cw.Error())
+	rows, failed, err := sweep(s, w, os.Stderr)
+	exitOn(err)
 	if *out != "" {
 		fmt.Printf("wrote %d rows to %s\n", rows, *out)
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations failed\n", failed, rows+failed)
+		os.Exit(1)
+	}
 }
 
-func record(res *prefetchsim.Result, degree, slc, ways, procs, scale, bw int) []string {
+func record(res *prefetchsim.Result, cfg prefetchsim.Config) []string {
 	st := res.Stats
 	var writes, delayed, cold, coh, repl, rstall, wstall, sstall, useful int64
 	for i := range st.Nodes {
@@ -104,7 +161,8 @@ func record(res *prefetchsim.Result, degree, slc, ways, procs, scale, bw int) []
 	i := strconv.Itoa
 	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
 	return []string{
-		res.App, string(res.Scheme), i(degree), i(slc), i(ways), i(procs), i(scale), i(bw),
+		res.App, string(res.Scheme), i(cfg.Degree), i(cfg.SLCBytes), i(cfg.SLCWays),
+		i(cfg.Processors), i(cfg.Scale), i(cfg.BandwidthFactor),
 		i64(int64(st.ExecTime)), i64(st.TotalReads()), i64(writes),
 		i64(st.TotalReadMisses()), i64(delayed),
 		i64(cold), i64(coh), i64(repl),
@@ -113,6 +171,14 @@ func record(res *prefetchsim.Result, degree, slc, ways, procs, scale, bw int) []
 		strconv.FormatFloat(st.PrefetchEfficiency(), 'f', 4, 64),
 		i64(st.NetMessages), i64(st.NetFlits), i64(st.NetFlitHops),
 	}
+}
+
+func splitTrim(csvList string) []string {
+	var out []string
+	for _, f := range strings.Split(csvList, ",") {
+		out = append(out, strings.TrimSpace(f))
+	}
+	return out
 }
 
 func ints(csvList string) ([]int, error) {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testSpec() spec {
+	return spec{
+		apps:    []string{"matmul"},
+		schemes: []string{"baseline", "Seq"},
+		degrees: []int{1, 2},
+		slcs:    []int{0, 16384},
+		ways:    1, procs: 4, scale: 1, bw: 1,
+		workers: 4,
+	}
+}
+
+// TestSweepCSVRoundTrip emits a small factorial sweep and parses it
+// back: the header must match, every row must have exactly one field
+// per header column, and every numeric column must parse.
+func TestSweepCSVRoundTrip(t *testing.T) {
+	var out, errs bytes.Buffer
+	rows, failed, err := sweep(testSpec(), &out, &errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("%d configurations failed: %s", failed, errs.String())
+	}
+	// baseline collapses the degree axis to 1: per SLC size the rows are
+	// baseline + Seq-d1 + Seq-d2.
+	wantRows := 2 * 3
+	if rows != wantRows {
+		t.Fatalf("sweep reported %d rows, want %d", rows, wantRows)
+	}
+
+	records, err := csv.NewReader(bytes.NewReader(out.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(records) != wantRows+1 {
+		t.Fatalf("CSV has %d records, want %d (header + %d rows)", len(records), wantRows+1, wantRows)
+	}
+	if got := strings.Join(records[0], ","); got != strings.Join(header, ",") {
+		t.Fatalf("header = %q, want %q", got, strings.Join(header, ","))
+	}
+	for r, rec := range records[1:] {
+		if len(rec) != len(header) {
+			t.Fatalf("row %d has %d columns, want %d", r, len(rec), len(header))
+		}
+		for c, field := range rec {
+			// The first two columns (app, scheme) are strings; every
+			// other column must be numeric.
+			if c < 2 {
+				if field == "" {
+					t.Errorf("row %d: empty %s", r, header[c])
+				}
+				continue
+			}
+			if _, err := strconv.ParseFloat(field, 64); err != nil {
+				t.Errorf("row %d column %s = %q is not numeric: %v", r, header[c], field, err)
+			}
+		}
+	}
+}
+
+// TestSweepBadAppCompletesRest: an unknown application fails its own
+// rows but the sweep still emits every other row.
+func TestSweepBadAppCompletesRest(t *testing.T) {
+	s := testSpec()
+	s.apps = []string{"nosuchapp", "matmul"}
+	s.degrees = []int{1}
+	s.slcs = []int{0}
+	var out, errs bytes.Buffer
+	rows, failed, err := sweep(s, &out, &errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 2 { // baseline + Seq for the unknown app
+		t.Fatalf("failed = %d, want 2; stderr: %s", failed, errs.String())
+	}
+	if rows != 2 { // baseline + Seq for matmul
+		t.Fatalf("rows = %d, want 2", rows)
+	}
+	if !strings.Contains(errs.String(), "nosuchapp") {
+		t.Fatalf("stderr does not name the failing app: %q", errs.String())
+	}
+	// The app column carries the program's self-reported name
+	// ("Matmul-LxMxN"), as in the serial sweep.
+	if !strings.Contains(out.String(), "Matmul") {
+		t.Fatal("surviving rows missing from CSV output")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers: the emitted CSV is byte-identical
+// whether the sweep runs serially or in parallel.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: equivalence covered by the root-package smoke test")
+	}
+	s := testSpec()
+	var serial, parallel bytes.Buffer
+	s.workers = 1
+	if _, _, err := sweep(s, &serial, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s.workers = 8
+	if _, _, err := sweep(s, &parallel, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatal("parallel sweep CSV differs from serial sweep CSV")
+	}
+}

@@ -7,6 +7,10 @@
 //	tables -table 2            # infinite SLC characteristics
 //	tables -table 3            # finite 16 KB SLC characteristics
 //	tables -table 4            # larger-data-set trends
+//	tables -table 2 -j 4       # fan the per-app runs across 4 workers
+//
+// The applications' runs fan out across -j worker goroutines (default:
+// all cores); the rows are identical to a serial run regardless of -j.
 package main
 
 import (
@@ -22,9 +26,10 @@ func main() {
 	procs := flag.Int("procs", 16, "processor count")
 	scale := flag.Int("scale", 1, "data-set scale")
 	seed := flag.Uint64("seed", 0, "workload seed")
+	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed}
+	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
 	if args := flag.Args(); len(args) > 0 {
 		opt.Apps = args
 	}

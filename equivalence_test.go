@@ -1,0 +1,138 @@
+package prefetchsim_test
+
+// Determinism guarantees of the parallel experiment engine: a sweep
+// fanned across worker goroutines must produce byte-identical rows to
+// the serial reference path (Workers == 1) for the same Seed. This is
+// the guardrail that makes the runner trustworthy — any hidden shared
+// state in Run's path (RNG, stats counters, pooled buffers) would show
+// up here or under `go test -race`.
+
+import (
+	"reflect"
+	"testing"
+
+	"prefetchsim"
+)
+
+// equivApps returns the applications the equivalence tests sweep: all
+// six of the paper's in full mode, a representative pair in short mode
+// and under the race detector (whose ~5x slowdown would push the full
+// sweep past go test's default package timeout).
+func equivApps(t *testing.T) []string {
+	t.Helper()
+	if testing.Short() || raceEnabled {
+		return []string{"mp3d", "water"}
+	}
+	return prefetchsim.Apps()
+}
+
+// TestFigure6ParallelMatchesSerial runs Figure 6 on the serial path and
+// on a parallel pool and asserts every (app, scheme) row is identical,
+// down to the formatted bytes.
+func TestFigure6ParallelMatchesSerial(t *testing.T) {
+	opt := prefetchsim.ExpOptions{Procs: 4, Apps: equivApps(t), Seed: 12345}
+
+	serialOpt := opt
+	serialOpt.Workers = 1
+	serial, err := prefetchsim.Figure6(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpt := opt
+	parOpt.Workers = 8
+	parallel, err := prefetchsim.Figure6(parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial produced %d rows, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].App != parallel[i].App || serial[i].Scheme != parallel[i].Scheme {
+			t.Fatalf("row %d order differs: serial %s/%s, parallel %s/%s",
+				i, serial[i].App, serial[i].Scheme, parallel[i].App, parallel[i].Scheme)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s/%s: parallel row differs from serial:\n  serial:   %+v\n  parallel: %+v",
+				serial[i].App, serial[i].Scheme, serial[i], parallel[i])
+		}
+		if s, p := serial[i].String(), parallel[i].String(); s != p {
+			t.Errorf("%s/%s: formatted rows differ:\n  serial:   %q\n  parallel: %q",
+				serial[i].App, serial[i].Scheme, s, p)
+		}
+	}
+}
+
+// TestTable2ParallelMatchesSerial does the same for the Table 2
+// characteristics sweep, whose runs carry the miss-stream analysis.
+func TestTable2ParallelMatchesSerial(t *testing.T) {
+	opt := prefetchsim.ExpOptions{Procs: 4, Apps: equivApps(t), Seed: 777}
+
+	serialOpt := opt
+	serialOpt.Workers = 1
+	serial, err := prefetchsim.Table2(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpt := opt
+	parOpt.Workers = 8
+	parallel, err := prefetchsim.Table2(parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial produced %d rows, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel row differs from serial:\n  serial:   %+v\n  parallel: %+v",
+				serial[i].App, serial[i], parallel[i])
+		}
+		if s, p := serial[i].String(), parallel[i].String(); s != p {
+			t.Errorf("%s: formatted rows differ:\n  serial:   %q\n  parallel: %q",
+				serial[i].App, s, p)
+		}
+	}
+}
+
+// TestParallelRaceSmoke is the short-mode concurrency smoke test: it
+// keeps several full simulations in flight at once so that
+// `go test -race -short ./...` exercises the parallel engine on every
+// run and a data race in Run's path cannot silently regress. The
+// result check doubles as a mini equivalence test.
+func TestParallelRaceSmoke(t *testing.T) {
+	opt := prefetchsim.ExpOptions{Procs: 4, Apps: []string{"matmul"}, Workers: 4}
+	parallel, err := prefetchsim.Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 1
+	serial, err := prefetchsim.Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel rows differ from serial:\n  serial:   %+v\n  parallel: %+v", serial, parallel)
+	}
+
+	// RunMany on identical configs must yield identical stats.
+	cfgs := make([]prefetchsim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = prefetchsim.Config{App: "matmul", Scheme: prefetchsim.Seq, Processors: 4}
+	}
+	results, errs := prefetchsim.RunMany(cfgs, len(cfgs), nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0].Stats, results[i].Stats) {
+			t.Fatalf("concurrent identical runs diverge: run 0 vs run %d", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"prefetchsim/internal/analysis"
 	"prefetchsim/internal/machine"
+	"prefetchsim/internal/runner"
 )
 
 // This file regenerates the paper's evaluation artifacts: Table 2
@@ -13,6 +14,13 @@ import (
 // SLC), Table 4 (larger data sets) and Figure 6 (read misses, prefetch
 // efficiency and read stall time for I-det, D-det and Seq relative to
 // the baseline), plus the ablations discussed in §5.4/§6.
+//
+// Every sweep fans its independent simulations across ExpOptions.Workers
+// goroutines through internal/runner. Rows come back in the same order
+// as a serial sweep, a failed configuration reports its error without
+// killing the rest, and the shared baseline run of each relative-metric
+// sweep executes once per (app, machine) tuple instead of once per
+// scheme.
 
 // FiniteSLCBytes is the §5.3 finite second-level cache size.
 const FiniteSLCBytes = 16384
@@ -27,6 +35,14 @@ type ExpOptions struct {
 	Apps []string
 	// Seed perturbs workload randomness.
 	Seed uint64
+	// Workers bounds how many simulations run concurrently: 0 means
+	// GOMAXPROCS, 1 forces the serial reference path. Results are
+	// identical either way.
+	Workers int
+	// Progress, when non-nil, is called after each sweep job completes
+	// with the number done and the job total. Calls are serialized and
+	// done is strictly increasing.
+	Progress func(done, total int)
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -96,34 +112,27 @@ func charRow(app string, slcBytes int, o ExpOptions) (CharRow, error) {
 	return row, nil
 }
 
+// charTable runs one characteristics column per application in
+// parallel. Rows of failed applications are dropped; their errors come
+// back joined, alongside the successful rows.
+func charTable(o ExpOptions, slcBytes int) ([]CharRow, error) {
+	o = o.withDefaults()
+	rows, errs := runner.Map(o.Workers, o.Apps, func(_ int, app string) (CharRow, error) {
+		return charRow(app, slcBytes, o)
+	}, o.Progress)
+	return gather(rows, errs)
+}
+
 // Table2 reproduces the paper's Table 2: application characteristics
 // under an infinitely large SLC.
 func Table2(o ExpOptions) ([]CharRow, error) {
-	o = o.withDefaults()
-	var rows []CharRow
-	for _, app := range o.Apps {
-		r, err := charRow(app, 0, o)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return charTable(o, 0)
 }
 
 // Table3 reproduces the paper's Table 3: the same characteristics under
 // a finite 16 KB direct-mapped SLC, where replacement misses appear.
 func Table3(o ExpOptions) ([]CharRow, error) {
-	o = o.withDefaults()
-	var rows []CharRow
-	for _, app := range o.Apps {
-		r, err := charRow(app, FiniteSLCBytes, o)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return charTable(o, FiniteSLCBytes)
 }
 
 // TrendRow is one application's column of Table 4: how the key
@@ -165,27 +174,26 @@ func Table4(o ExpOptions) ([]TrendRow, error) {
 			apps = append(apps, a)
 		}
 	}
-	var rows []TrendRow
-	for _, app := range apps {
+	rows, errs := runner.Map(o.Workers, apps, func(_ int, app string) (TrendRow, error) {
 		small, err := charRow(app, 0, o)
 		if err != nil {
-			return nil, err
+			return TrendRow{}, err
 		}
 		ol := o
 		ol.Scale = o.Scale + 1
 		large, err := charRow(app, 0, ol)
 		if err != nil {
-			return nil, err
+			return TrendRow{}, err
 		}
-		rows = append(rows, TrendRow{
+		return TrendRow{
 			App: app, Small: small, Large: large,
 			FracTrend: trend(small.InStrideFrac, large.InStrideFrac, 0.05,
 				"higher", "lower", "about the same"),
 			LenTrend: trend(small.AvgSeqLen, large.AvgSeqLen, 0.10,
 				"longer", "shorter", "limited"),
-		})
-	}
-	return rows, nil
+		}, nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 // Fig6Row is one bar of Figure 6: a scheme's read misses and read stall
@@ -226,23 +234,31 @@ func figure6(o ExpOptions, slcBytes int, schemes ...Scheme) ([]Fig6Row, error) {
 	if len(schemes) == 0 {
 		schemes = Schemes()
 	}
-	var rows []Fig6Row
+	type job struct {
+		app    string
+		scheme Scheme
+	}
+	var jobs []job
 	for _, app := range o.Apps {
-		base, err := Run(Config{App: app, Scheme: Baseline,
-			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
-		if err != nil {
-			return nil, err
-		}
 		for _, s := range schemes {
-			res, err := Run(Config{App: app, Scheme: s, Degree: 1,
-				Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, fig6Row(app, s, base, res))
+			jobs = append(jobs, job{app, s})
 		}
 	}
-	return rows, nil
+	var base baselineCache
+	rows, errs := runner.Map(o.Workers, jobs, func(_ int, j job) (Fig6Row, error) {
+		baseRes, err := base.get(Config{App: j.app, Scheme: Baseline,
+			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		res, err := Run(Config{App: j.app, Scheme: j.scheme, Degree: 1,
+			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		return fig6Row(j.app, j.scheme, baseRes, res), nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 func fig6Row(app string, s Scheme, base, res *Result) Fig6Row {
@@ -264,44 +280,42 @@ func fig6Row(app string, s Scheme, base, res *Result) Fig6Row {
 // prefetching phase).
 func DegreeSweep(app string, scheme Scheme, degrees []int, o ExpOptions) ([]Fig6Row, error) {
 	o = o.withDefaults()
-	base, err := Run(Config{App: app, Scheme: Baseline,
-		Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
-	if err != nil {
-		return nil, err
-	}
-	var rows []Fig6Row
-	for _, d := range degrees {
+	var base baselineCache
+	rows, errs := runner.Map(o.Workers, degrees, func(_ int, d int) (Fig6Row, error) {
+		baseRes, err := base.get(Config{App: app, Scheme: Baseline,
+			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
+		if err != nil {
+			return Fig6Row{}, err
+		}
 		res, err := Run(Config{App: app, Scheme: scheme, Degree: d,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
-		row := fig6Row(app, Scheme(fmt.Sprintf("%s-d%d", scheme, d)), base, res)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return fig6Row(app, Scheme(fmt.Sprintf("%s-d%d", scheme, d)), baseRes, res), nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 // SLCSweep runs one application and scheme across finite SLC sizes,
 // extending the §5.3 study.
 func SLCSweep(app string, scheme Scheme, sizes []int, o ExpOptions) ([]Fig6Row, error) {
 	o = o.withDefaults()
-	var rows []Fig6Row
-	for _, size := range sizes {
-		base, err := Run(Config{App: app, Scheme: Baseline,
+	var base baselineCache
+	rows, errs := runner.Map(o.Workers, sizes, func(_ int, size int) (Fig6Row, error) {
+		baseRes, err := base.get(Config{App: app, Scheme: Baseline,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: size})
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
 		res, err := Run(Config{App: app, Scheme: scheme, Degree: 1,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: size})
 		if err != nil {
-			return nil, err
+			return Fig6Row{}, err
 		}
-		row := fig6Row(app, Scheme(fmt.Sprintf("%s-slc%dK", scheme, size/1024)), base, res)
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return fig6Row(app, Scheme(fmt.Sprintf("%s-slc%dK", scheme, size/1024)), baseRes, res), nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 // ExtensionCompare runs the §6 extension schemes next to their paper
@@ -311,6 +325,7 @@ func SLCSweep(app string, scheme Scheme, sizes []int, o ExpOptions) ([]Fig6Row, 
 func ExtensionCompare(app string, o ExpOptions) ([]Fig6Row, error) {
 	return Figure6(ExpOptions{
 		Procs: o.Procs, Scale: o.Scale, Seed: o.Seed, Apps: []string{app},
+		Workers: o.Workers, Progress: o.Progress,
 	}, IDet, IDetLA, DDet, DDetLA, Seq, Hybrid)
 }
 
@@ -334,16 +349,15 @@ func (r ConsistencyRow) String() string {
 // block (sequential consistency).
 func ConsistencyCompare(o ExpOptions) ([]ConsistencyRow, error) {
 	o = o.withDefaults()
-	var rows []ConsistencyRow
-	for _, app := range o.Apps {
+	rows, errs := runner.Map(o.Workers, o.Apps, func(_ int, app string) (ConsistencyRow, error) {
 		rc, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
-			return nil, err
+			return ConsistencyRow{}, err
 		}
 		sc, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed,
 			SequentialConsistency: true})
 		if err != nil {
-			return nil, err
+			return ConsistencyRow{}, err
 		}
 		row := ConsistencyRow{App: app}
 		if rc.Stats.ExecTime > 0 {
@@ -353,9 +367,9 @@ func ConsistencyCompare(o ExpOptions) ([]ConsistencyRow, error) {
 			row.SCWriteStall += int64(sc.Stats.Nodes[i].WriteStall)
 			row.RCWriteStall += int64(rc.Stats.Nodes[i].WriteStall)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 // BandwidthRow is one entry of the §7 bandwidth-limitation study.
@@ -382,19 +396,18 @@ func (r BandwidthRow) String() string {
 // the equally-throttled baseline.
 func BandwidthSweep(app string, factors []int, o ExpOptions) ([]BandwidthRow, error) {
 	o = o.withDefaults()
-	var rows []BandwidthRow
-	for _, f := range factors {
+	rows, errs := runner.Map(o.Workers, factors, func(_ int, f int) (BandwidthRow, error) {
 		base, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
 			Seed: o.Seed, BandwidthFactor: f})
 		if err != nil {
-			return nil, err
+			return BandwidthRow{}, err
 		}
 		row := BandwidthRow{App: app, Factor: f}
 		for _, s := range []Scheme{Seq, IDet} {
 			res, err := Run(Config{App: app, Scheme: s, Degree: 1,
 				Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, BandwidthFactor: f})
 			if err != nil {
-				return nil, err
+				return BandwidthRow{}, err
 			}
 			rel := 0.0
 			if bs := base.Stats.TotalReadStall(); bs > 0 {
@@ -406,9 +419,9 @@ func BandwidthSweep(app string, factors []int, o ExpOptions) ([]BandwidthRow, er
 				row.StrideRelStall = rel
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	}, o.Progress)
+	return gather(rows, errs)
 }
 
 // AssocRow is one entry of the associativity ablation.
@@ -428,13 +441,17 @@ func (r AssocRow) String() string {
 // traffic is conflict (recovered by associativity) rather than capacity.
 func AssocSweep(app string, ways []int, o ExpOptions) ([]AssocRow, error) {
 	o = o.withDefaults()
+	// The runs are independent; only the relative-misses column depends
+	// on the first (direct-mapped) run, so normalize after the fan-out.
+	results, errs := runner.Map(o.Workers, ways, func(_ int, w int) (*Result, error) {
+		return Run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
+			Seed: o.Seed, SLCBytes: FiniteSLCBytes, SLCWays: w})
+	}, o.Progress)
 	var dmMisses int64
 	var rows []AssocRow
-	for i, w := range ways {
-		res, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
-			Seed: o.Seed, SLCBytes: FiniteSLCBytes, SLCWays: w})
-		if err != nil {
-			return nil, err
+	for i, res := range results {
+		if errs[i] != nil {
+			continue
 		}
 		misses := res.Stats.TotalReadMisses()
 		if i == 0 {
@@ -444,7 +461,7 @@ func AssocSweep(app string, ways []int, o ExpOptions) ([]AssocRow, error) {
 		for n := range res.Stats.Nodes {
 			repl += res.Stats.Nodes[n].ReplacementMisses
 		}
-		row := AssocRow{App: app, Ways: w}
+		row := AssocRow{App: app, Ways: ways[i]}
 		if misses > 0 {
 			row.ReplacementFrac = float64(repl) / float64(misses)
 		}
@@ -453,7 +470,8 @@ func AssocSweep(app string, ways []int, o ExpOptions) ([]AssocRow, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	_, err := gather(results, errs)
+	return rows, err
 }
 
 // RepresentativenessRow summarizes how much one processor's miss

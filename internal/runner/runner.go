@@ -1,0 +1,148 @@
+// Package runner is the parallel experiment engine: a worker pool that
+// fans independent jobs (simulations) across GOMAXPROCS goroutines
+// while keeping the results deterministic.
+//
+// The guarantees the experiment layer builds on:
+//
+//   - Results come back in submission order, regardless of which worker
+//     finishes first, so a parallel sweep emits byte-identical rows to
+//     a serial one.
+//   - Errors are captured per job: one failed configuration never kills
+//     the rest of a sweep.
+//   - With Workers == 1 the jobs run strictly serially, in order, on
+//     the calling goroutine — the reference path the equivalence tests
+//     compare against.
+//
+// Cache adds the second half of the engine: a singleflight memo so a
+// shared run (the per-application baseline of a relative-metric sweep)
+// executes once instead of once per scheme, even when the schemes that
+// need it run concurrently.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a sweep does not specify
+// one: GOMAXPROCS, i.e. as many simulations in flight as the hardware
+// has cores to run them.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Normalize clamps a requested worker count to [1, jobs]: 0 (or
+// negative) means DefaultWorkers, and there is no point spawning more
+// workers than jobs.
+func Normalize(workers, jobs int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn over every job on up to workers goroutines (0 means
+// DefaultWorkers) and returns one result and one error slot per job, in
+// submission order. fn receives the job's index and value. A panic in
+// fn propagates to the caller; an error is recorded in the job's slot
+// and the remaining jobs still run.
+//
+// progress, when non-nil, is called after each job finishes with the
+// number of completed jobs and the total; calls are serialized and
+// done is strictly increasing, but with multiple workers the jobs
+// completing in between are not ordered.
+func Map[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), progress func(done, total int)) ([]R, []error) {
+	results := make([]R, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, errs
+	}
+	workers = Normalize(workers, len(jobs))
+
+	if workers == 1 {
+		// Serial reference path: in order, on the calling goroutine.
+		for i, job := range jobs {
+			results[i], errs[i] = fn(i, job)
+			if progress != nil {
+				progress(i+1, len(jobs))
+			}
+		}
+		return results, errs
+	}
+
+	var (
+		next int // next job index to hand out
+		done int // jobs finished so far
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				r, err := fn(i, jobs[i])
+				mu.Lock()
+				results[i], errs[i] = r, err
+				done++
+				if progress != nil {
+					progress(done, len(jobs))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// Cache is a concurrency-safe singleflight memo: Do runs fn at most
+// once per key, and concurrent callers of the same key block until the
+// first call's result is ready and then share it (value and error
+// alike). The zero value is ready to use; a Cache must not be copied
+// after first use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, computing it with fn on the
+// first call.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = new(cacheEntry[V])
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Len reports the number of distinct keys seen.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

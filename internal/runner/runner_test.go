@@ -1,0 +1,227 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapOrder: results come back in submission order even when later
+// jobs finish first (earlier jobs wait on later ones via a channel).
+func TestMapOrder(t *testing.T) {
+	const n = 16
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	release := make(chan struct{})
+	results, errs := Map(n, jobs, func(i, job int) (int, error) {
+		if i == 0 {
+			<-release // job 0 finishes last
+		} else if i == n-1 {
+			close(release)
+		}
+		return job * job, nil
+	}, nil)
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("job %d: unexpected error %v", i, errs[i])
+		}
+		if results[i] != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], i*i)
+		}
+	}
+}
+
+// TestMapSerialWorker: workers == 1 runs jobs strictly in submission
+// order on one goroutine.
+func TestMapSerialWorker(t *testing.T) {
+	var order []int
+	jobs := []int{10, 20, 30, 40}
+	results, errs := Map(1, jobs, func(i, job int) (int, error) {
+		order = append(order, i) // safe: single worker, no concurrency
+		return job, nil
+	}, nil)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("serial execution order %v, want ascending", order)
+		}
+	}
+	for i := range jobs {
+		if errs[i] != nil || results[i] != jobs[i] {
+			t.Fatalf("job %d: got (%d, %v)", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestMapErrorIsolation: one failing job must not stop the others, and
+// its error lands in its own slot.
+func TestMapErrorIsolation(t *testing.T) {
+	jobs := []int{0, 1, 2, 3, 4}
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	results, errs := Map(2, jobs, func(i, job int) (int, error) {
+		ran.Add(1)
+		if job == 2 {
+			return 0, fmt.Errorf("job %d: %w", job, boom)
+		}
+		return job + 100, nil
+	}, nil)
+	if got := ran.Load(); got != int32(len(jobs)) {
+		t.Fatalf("ran %d jobs, want %d", got, len(jobs))
+	}
+	for i := range jobs {
+		if i == 2 {
+			if !errors.Is(errs[i], boom) {
+				t.Errorf("errs[2] = %v, want wrapped boom", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+		}
+		if results[i] != i+100 {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], i+100)
+		}
+	}
+}
+
+// TestMapProgress: the callback sees every completion with a strictly
+// increasing done count ending at total.
+func TestMapProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 12
+			jobs := make([]int, n)
+			var calls []int
+			var mu sync.Mutex
+			_, errs := Map(workers, jobs, func(i, job int) (int, error) {
+				return 0, nil
+			}, func(done, total int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if total != n {
+					t.Errorf("progress total = %d, want %d", total, n)
+				}
+				calls = append(calls, done)
+			})
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+			}
+			if len(calls) != n {
+				t.Fatalf("%d progress calls, want %d", len(calls), n)
+			}
+			for i, d := range calls {
+				if d != i+1 {
+					t.Fatalf("progress sequence %v, want 1..%d", calls, n)
+				}
+			}
+		})
+	}
+}
+
+// TestMapEmptyAndDefaults: zero jobs and zero workers are both fine.
+func TestMapEmptyAndDefaults(t *testing.T) {
+	results, errs := Map(0, nil, func(i, job int) (int, error) { return 0, nil }, nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Fatalf("empty Map returned %d results, %d errs", len(results), len(errs))
+	}
+	// workers = 0 means DefaultWorkers; the single job still runs.
+	r, e := Map(0, []int{7}, func(i, job int) (int, error) { return job * 2, nil }, nil)
+	if e[0] != nil || r[0] != 14 {
+		t.Fatalf("default-workers Map = (%d, %v), want (14, nil)", r[0], e[0])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	max := DefaultWorkers()
+	for _, tc := range []struct{ workers, jobs, want int }{
+		{0, 100, max},
+		{-3, 100, max},
+		{1, 100, 1},
+		{8, 3, 3},
+		{4, 0, 1},
+		{2, 2, 2},
+	} {
+		if got := Normalize(tc.workers, tc.jobs); got != tc.want {
+			t.Errorf("Normalize(%d, %d) = %d, want %d", tc.workers, tc.jobs, got, tc.want)
+		}
+	}
+}
+
+// TestCacheSingleflight: many concurrent callers of one key execute fn
+// exactly once and all observe the same result.
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var execs atomic.Int32
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do("base", func() (int, error) {
+				execs.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d saw %d, want 42", i, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+// TestCacheDistinctKeys: distinct keys compute independently, and a
+// cached error is shared just like a cached value.
+func TestCacheDistinctKeys(t *testing.T) {
+	var c Cache[int, string]
+	var execs atomic.Int32
+	bad := errors.New("bad key")
+	get := func(k int) (string, error) {
+		return c.Do(k, func() (string, error) {
+			execs.Add(1)
+			if k == 99 {
+				return "", bad
+			}
+			return fmt.Sprintf("v%d", k), nil
+		})
+	}
+	for round := 0; round < 3; round++ {
+		for _, k := range []int{1, 2, 99} {
+			v, err := get(k)
+			if k == 99 {
+				if !errors.Is(err, bad) {
+					t.Fatalf("key 99 round %d: err = %v, want bad", round, err)
+				}
+				continue
+			}
+			if err != nil || v != fmt.Sprintf("v%d", k) {
+				t.Fatalf("key %d round %d: (%q, %v)", k, round, v, err)
+			}
+		}
+	}
+	if got := execs.Load(); got != 3 {
+		t.Fatalf("fn executed %d times, want 3 (one per key)", got)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d keys, want 3", c.Len())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package prefetchsim_test
+
+// raceEnabled reports whether the race detector is compiled into the
+// test binary; see race_enabled_test.go.
+const raceEnabled = false

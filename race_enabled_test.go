@@ -1,0 +1,10 @@
+//go:build race
+
+package prefetchsim_test
+
+// raceEnabled reports whether the race detector is compiled into the
+// test binary. Race instrumentation slows the simulator ~5x, so the
+// equivalence tests trim their application set to stay inside go
+// test's default 10-minute package timeout; the full six-application
+// sweep runs in the uninstrumented suite.
+const raceEnabled = true

@@ -1,0 +1,101 @@
+package prefetchsim
+
+import (
+	"errors"
+
+	"prefetchsim/internal/runner"
+)
+
+// This file is the public face of the parallel experiment engine
+// (internal/runner): independent simulations fan out across worker
+// goroutines with submission-ordered results, per-job error capture and
+// a singleflight cache for the shared baseline runs that every
+// relative-metric sweep repeats per scheme.
+
+// DefaultWorkers is the worker count used when a sweep does not set
+// one: GOMAXPROCS.
+func DefaultWorkers() int { return runner.DefaultWorkers() }
+
+// RunMany executes every configuration with Run, fanning the
+// simulations across up to workers goroutines (0 means DefaultWorkers,
+// 1 forces the serial path). Results and errors come back in
+// submission order, one slot per configuration; a failed configuration
+// occupies its error slot without stopping the rest. progress, when
+// non-nil, is called after each simulation with (done, total).
+//
+// Each simulation is fully isolated — Run builds a fresh machine,
+// workload and RNG per call — so a parallel sweep is deterministic: it
+// produces exactly the results of running the configurations one by
+// one.
+func RunMany(cfgs []Config, workers int, progress func(done, total int)) ([]*Result, []error) {
+	return runner.Map(workers, cfgs, func(_ int, c Config) (*Result, error) {
+		return Run(c)
+	}, progress)
+}
+
+// baselineKey identifies one shareable baseline simulation: every
+// field of Config that shapes a Baseline run's result. Two sweep jobs
+// whose keys are equal may share one simulation; any difference in the
+// tuple must produce distinct keys.
+type baselineKey struct {
+	app      string
+	slcBytes int
+	slcWays  int
+	procs    int
+	scale    int
+	seed     uint64
+	bw       int
+	seqCons  bool
+	chars    bool
+}
+
+// baselineKeyFor derives the cache key for the baseline run that cfg
+// (with defaults applied) shares.
+func baselineKeyFor(cfg Config) baselineKey {
+	cfg = cfg.withDefaults()
+	return baselineKey{
+		app:      cfg.App,
+		slcBytes: cfg.SLCBytes,
+		slcWays:  cfg.SLCWays,
+		procs:    cfg.Processors,
+		scale:    cfg.Scale,
+		seed:     cfg.Seed,
+		bw:       cfg.BandwidthFactor,
+		seqCons:  cfg.SequentialConsistency,
+		chars:    cfg.CollectCharacteristics,
+	}
+}
+
+// baselineCache memoizes baseline runs for the duration of one sweep,
+// so the shared baseline per (app, slc, procs, scale, seed, ...) tuple
+// executes once instead of once per scheme. Concurrent jobs needing
+// the same baseline block on the first one running it (singleflight).
+type baselineCache struct {
+	cache runner.Cache[baselineKey, *Result]
+}
+
+// get returns the baseline result for cfg, which must describe a
+// Baseline-scheme run (built-in app, no custom Program).
+func (b *baselineCache) get(cfg Config) (*Result, error) {
+	return b.cache.Do(baselineKeyFor(cfg), func() (*Result, error) {
+		return Run(cfg)
+	})
+}
+
+// gather collapses runner.Map's parallel (results, errs) slices into
+// the experiment API's ([]Row, error) shape: rows of the successful
+// jobs in submission order, plus every failure joined into one error.
+// A sweep with one bad configuration still returns the rows of all the
+// others.
+func gather[R any](results []R, errs []error) ([]R, error) {
+	var rows []R
+	var bad []error
+	for i, err := range errs {
+		if err != nil {
+			bad = append(bad, err)
+			continue
+		}
+		rows = append(rows, results[i])
+	}
+	return rows, errors.Join(bad...)
+}

@@ -1,0 +1,116 @@
+package prefetchsim
+
+// White-box tests for the engine glue: the baseline-cache key must
+// separate every configuration tuple that shapes a baseline result,
+// and a sweep with one bad configuration must still complete the rest.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestBaselineKeyDistinct: configurations differing in any component of
+// the (app, slc, procs, scale, seed, ...) tuple must map to distinct
+// cache keys, while default-equivalent spellings of the same machine
+// must collide (that is the sharing the cache exists for).
+func TestBaselineKeyDistinct(t *testing.T) {
+	ref := Config{App: "lu", Processors: 16, Scale: 1, Seed: 0}
+	mutations := []struct {
+		name string
+		cfg  Config
+	}{
+		{"app", Config{App: "ocean", Processors: 16, Scale: 1, Seed: 0}},
+		{"slc_bytes", Config{App: "lu", Processors: 16, Scale: 1, Seed: 0, SLCBytes: FiniteSLCBytes}},
+		{"slc_ways", Config{App: "lu", Processors: 16, Scale: 1, Seed: 0, SLCBytes: FiniteSLCBytes, SLCWays: 2}},
+		{"procs", Config{App: "lu", Processors: 4, Scale: 1, Seed: 0}},
+		{"scale", Config{App: "lu", Processors: 16, Scale: 2, Seed: 0}},
+		{"seed", Config{App: "lu", Processors: 16, Scale: 1, Seed: 1}},
+		{"bandwidth", Config{App: "lu", Processors: 16, Scale: 1, Seed: 0, BandwidthFactor: 2}},
+		{"consistency", Config{App: "lu", Processors: 16, Scale: 1, Seed: 0, SequentialConsistency: true}},
+		{"characteristics", Config{App: "lu", Processors: 16, Scale: 1, Seed: 0, CollectCharacteristics: true}},
+	}
+	refKey := baselineKeyFor(ref)
+	seen := map[baselineKey]string{refKey: "reference"}
+	for _, m := range mutations {
+		k := baselineKeyFor(m.cfg)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q: key %+v", m.name, prev, k)
+			continue
+		}
+		seen[k] = m.name
+	}
+
+	// Default-equivalent spellings share a key: Processors 0 means 16,
+	// Scale 0 means 1, and the scheme/degree are not part of a baseline
+	// run's identity.
+	for _, same := range []Config{
+		{App: "lu"},
+		{App: "lu", Processors: 16, Scale: 1},
+		{App: "lu", Scheme: Baseline, Degree: 1, Processors: 16, Scale: 1},
+	} {
+		if k := baselineKeyFor(same); k != refKey {
+			t.Errorf("default-equivalent config %+v got key %+v, want %+v", same, k, refKey)
+		}
+	}
+}
+
+// TestTable2BadAppCompletesRest: one invalid application returns its
+// error yet the other applications' rows still come back, in order.
+func TestTable2BadAppCompletesRest(t *testing.T) {
+	rows, err := Table2(ExpOptions{
+		Procs: 4, Apps: []string{"matmul", "nosuchapp"}, Workers: 2,
+	})
+	if err == nil {
+		t.Fatal("Table2 with an invalid app returned nil error")
+	}
+	if !strings.Contains(err.Error(), "nosuchapp") {
+		t.Fatalf("error does not name the invalid app: %v", err)
+	}
+	if len(rows) != 1 || rows[0].App != "matmul" {
+		t.Fatalf("surviving rows = %+v, want the matmul row alone", rows)
+	}
+}
+
+// TestRunManyErrorCapture: per-job error slots line up with their
+// configurations and do not disturb neighboring results.
+func TestRunManyErrorCapture(t *testing.T) {
+	cfgs := []Config{
+		{App: "matmul", Processors: 4},
+		{App: "nosuchapp", Processors: 4},
+		{App: "matmul", Scheme: Seq, Processors: 4},
+	}
+	results, errs := RunMany(cfgs, 3, nil)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid configs errored: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "nosuchapp") {
+		t.Fatalf("errs[1] = %v, want unknown-application error", errs[1])
+	}
+	if results[1] != nil {
+		t.Fatalf("failed job left a result: %+v", results[1])
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatal("valid jobs missing results")
+	}
+	if results[0].Scheme != Baseline || results[2].Scheme != Seq {
+		t.Fatalf("result schemes %s, %s — slots misaligned", results[0].Scheme, results[2].Scheme)
+	}
+}
+
+// TestGather: successful rows survive in order and all failures join
+// into one error.
+func TestGather(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	rows, err := gather([]int{10, 0, 30, 0, 50}, []error{nil, e1, nil, e2, nil})
+	if want := []int{10, 30, 50}; len(rows) != 3 || rows[0] != 10 || rows[1] != 30 || rows[2] != 50 {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error %v does not wrap both failures", err)
+	}
+	rows, err = gather([]int{1, 2}, []error{nil, nil})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("all-success gather = (%v, %v)", rows, err)
+	}
+}
