@@ -29,6 +29,7 @@ func benchOpts() prefetchsim.ExpOptions {
 // characteristics the paper tabulates.
 func benchTable(b *testing.B, app string, finite bool) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Apps = []string{app}
@@ -72,6 +73,7 @@ func BenchmarkTable3_PTHOR(b *testing.B)    { benchTable(b, "pthor", true) }
 // lighter applications (the full five-application version is
 // `cmd/tables -table 4`).
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Apps = []string{"mp3d", "water", "ocean"}
@@ -90,6 +92,7 @@ func BenchmarkTable4(b *testing.B) {
 // three schemes) and reports all three panels per scheme.
 func benchFigure6(b *testing.B, app string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Apps = []string{app}
@@ -112,6 +115,7 @@ func benchFigure6(b *testing.B, app string) {
 // TestFigure6ParallelMatchesSerial).
 func benchFigure6Workers(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Workers = workers
@@ -141,6 +145,7 @@ func BenchmarkFigure6_PTHOR(b *testing.B)    { benchFigure6(b, "pthor") }
 // BenchmarkAblationDegree sweeps the degree of prefetching (the §6
 // observation: with this prefetching phase, d makes little difference).
 func BenchmarkAblationDegree(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := prefetchsim.DegreeSweep("water", prefetchsim.Seq,
 			[]int{1, 2, 4, 8}, benchOpts())
@@ -157,6 +162,7 @@ func BenchmarkAblationDegree(b *testing.B) {
 // prefetching on Ocean, where fixed sequential wastes the most
 // bandwidth (the §6 discussion of Dahlgren et al.'s adaptive scheme).
 func BenchmarkAblationAdaptive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Apps = []string{"ocean"}
@@ -173,6 +179,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 
 // BenchmarkAblationSLCSize extends §5.3: I-detection across SLC sizes.
 func BenchmarkAblationSLCSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := prefetchsim.SLCSweep("ocean", prefetchsim.IDet,
 			[]int{8192, 16384, 65536}, benchOpts())
@@ -217,6 +224,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // adaptive distance) and the hybrid software-assisted scheme on LU,
 // whose tight inner loop makes d=1 prefetches chronically late.
 func BenchmarkAblationLookahead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := prefetchsim.ExtensionCompare("lu", benchOpts())
 		if err != nil {
@@ -232,6 +240,7 @@ func BenchmarkAblationLookahead(b *testing.B) {
 // assumption: how much slower the write-heavy applications run when
 // writes block (sequential consistency).
 func BenchmarkAblationConsistency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts()
 		opt.Apps = []string{"mp3d", "ocean"}
@@ -249,6 +258,7 @@ func BenchmarkAblationConsistency(b *testing.B) {
 // sequential prefetching's advantage erodes when the memory-system
 // bandwidth is limited, because of its useless prefetches.
 func BenchmarkAblationBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := prefetchsim.BandwidthSweep("mp3d", []int{1, 2, 4}, benchOpts())
 		if err != nil {
@@ -263,6 +273,7 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 
 // BenchmarkAblationAssociativity extends §5.3 with SLC associativity.
 func BenchmarkAblationAssociativity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := prefetchsim.AssocSweep("mp3d", []int{1, 2, 4}, benchOpts())
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"prefetchsim"
+	"prefetchsim/internal/prof"
 )
 
 func main() {
@@ -27,7 +28,11 @@ func main() {
 	chars := flag.Bool("chars", false, "print the Table 2/3 stride-sequence analysis of processor 0")
 	record := flag.String("record", "", "record the application's reference trace to this file and exit")
 	replay := flag.String("replay", "", "simulate a trace file recorded with -record instead of -app")
+	pf := prof.Register()
 	flag.Parse()
+
+	exitOn(pf.Start())
+	defer func() { exitOn(pf.Stop()) }()
 
 	if *record != "" {
 		prog, err := prefetchsim.BuildApp(*app, prefetchsim.Params{

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"prefetchsim"
+	"prefetchsim/internal/prof"
 )
 
 var header = []string{
@@ -109,7 +110,10 @@ func main() {
 	bw := flag.Int("bandwidth", 1, "bandwidth divisor")
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	out := flag.String("o", "", "output CSV file (default stdout)")
+	pf := prof.Register()
 	flag.Parse()
+
+	exitOn(pf.Start())
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -134,6 +138,7 @@ func main() {
 	}
 	rows, failed, err := sweep(s, w, os.Stderr)
 	exitOn(err)
+	exitOn(pf.Stop())
 	if *out != "" {
 		fmt.Printf("wrote %d rows to %s\n", rows, *out)
 	}

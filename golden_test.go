@@ -1,0 +1,82 @@
+package prefetchsim_test
+
+// Golden determinism digests. The serial/parallel equivalence tests
+// compare two runs of the *same* binary, so they cannot catch a change
+// that perturbs simulated event order consistently in both. These
+// digests pin the exact experiment output of one small configuration
+// across commits: any fast-path rewrite (event queue, block tables,
+// protocol scheduling) that changes simulation results — even
+// "harmlessly" — fails loudly here and must consciously re-bless the
+// digest with an explanation.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prefetchsim"
+)
+
+// Digests of the matmul/4-processor/seed-12345 Figure 6 and Table 2
+// rows, computed at the commit that introduced this test. Re-bless only
+// when a change is *supposed* to alter simulation results.
+const (
+	goldenFigure6Digest = "3e762c98b9ba9100cbb0aa75af30ee3db49b04d6ae0c3b4793c26bfca89fc050"
+	goldenTable2Digest  = "5b975542bde90ecc50a748327fdab86567064bcdebfb0825d197bce919659687"
+)
+
+func goldenOpts() prefetchsim.ExpOptions {
+	return prefetchsim.ExpOptions{Procs: 4, Apps: []string{"matmul"}, Seed: 12345, Workers: 1}
+}
+
+// f formats a float with full round-trip precision so the digest is
+// sensitive to the last bit of every statistic.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func digestLines(lines []string) string {
+	h := sha256.New()
+	for _, l := range lines {
+		fmt.Fprintln(h, l)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenFigure6Digest(t *testing.T) {
+	rows, err := prefetchsim.Figure6(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, strings.Join([]string{
+			r.App, string(r.Scheme),
+			f(r.RelMisses), f(r.Efficiency), f(r.RelStall), f(r.RelTraffic),
+		}, ","))
+	}
+	if got := digestLines(lines); got != goldenFigure6Digest {
+		t.Errorf("Figure 6 digest changed: got %s, want %s\nrows:\n%s",
+			got, goldenFigure6Digest, strings.Join(lines, "\n"))
+	}
+}
+
+func TestGoldenTable2Digest(t *testing.T) {
+	rows, err := prefetchsim.Table2(goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, r := range rows {
+		parts := []string{r.App, f(r.ReplacementFrac), f(r.InStrideFrac), f(r.AvgSeqLen)}
+		for _, s := range r.Dominant {
+			parts = append(parts, fmt.Sprintf("%d:%s", s.Stride, f(s.Share)))
+		}
+		lines = append(lines, strings.Join(parts, ","))
+	}
+	if got := digestLines(lines); got != goldenTable2Digest {
+		t.Errorf("Table 2 digest changed: got %s, want %s\nrows:\n%s",
+			got, goldenTable2Digest, strings.Join(lines, "\n"))
+	}
+}

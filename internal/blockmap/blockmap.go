@@ -1,0 +1,197 @@
+// Package blockmap provides Table, an open-addressed hash table keyed
+// by cache-block numbers. It replaces map[mem.Block]V on the
+// simulator's per-reference fast path: every memory reference probes
+// the directory, the SLC tag store and the node's transaction tables,
+// and the stdlib map's hashing and bucket indirection dominate those
+// lookups. Table uses power-of-two sizing, Fibonacci multiply-shift
+// hashing, linear probing over a single fused slot array (one cache
+// line per probe) and backward-shift (tombstone-free) deletion, so
+// long-running simulations with heavy delete/re-insert churn (SLC
+// invalidations, retiring transactions) never degrade.
+//
+// Table is not safe for concurrent use; each Machine owns its tables,
+// matching the one-goroutine-per-simulation model of the experiment
+// runner.
+package blockmap
+
+import "prefetchsim/internal/mem"
+
+// minSize is the smallest backing array; tables grow by doubling.
+const minSize = 16
+
+// slot is one open-addressing cell; key, occupancy and value share a
+// cache line so a probe costs one memory touch.
+type slot[V any] struct {
+	key  mem.Block
+	used bool
+	val  V
+}
+
+// Table maps mem.Block to V. The zero value is an empty table ready
+// for use.
+type Table[V any] struct {
+	slots []slot[V]
+	n     int  // occupied slots
+	shift uint // 64 - log2(len(slots)), for multiply-shift hashing
+}
+
+// home returns the preferred slot of key b for the current table size:
+// the top log2(size) bits of the key's Fibonacci hash, so consecutive
+// block numbers (the common access pattern) scatter evenly.
+func (t *Table[V]) home(b mem.Block) int {
+	return int((uint64(b) * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// Reserve grows the backing array so that at least n entries fit
+// without rehashing.
+func (t *Table[V]) Reserve(n int) {
+	need := n*4/3 + 1
+	size := len(t.slots)
+	if size == 0 {
+		size = minSize
+	}
+	for size < need {
+		size *= 2
+	}
+	if size > len(t.slots) {
+		t.rehash(size)
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Get returns the value stored for b.
+func (t *Table[V]) Get(b mem.Block) (V, bool) {
+	if t.n == 0 {
+		var zero V
+		return zero, false
+	}
+	mask := len(t.slots) - 1
+	for i := t.home(b); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			var zero V
+			return zero, false
+		}
+		if s.key == b {
+			return s.val, true
+		}
+	}
+}
+
+// Ptr returns a pointer to the value stored for b, or nil if absent.
+// The pointer is valid only until the next Put, Ref or Delete.
+func (t *Table[V]) Ptr(b mem.Block) *V {
+	if t.n == 0 {
+		return nil
+	}
+	mask := len(t.slots) - 1
+	for i := t.home(b); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return nil
+		}
+		if s.key == b {
+			return &s.val
+		}
+	}
+}
+
+// Put stores v for b, replacing any existing value.
+func (t *Table[V]) Put(b mem.Block, v V) { *t.Ref(b) = v }
+
+// Ref returns a pointer to the value stored for b, inserting a zero
+// value first if b is absent. The pointer is valid only until the next
+// Put, Ref or Delete — read-modify-write it immediately.
+func (t *Table[V]) Ref(b mem.Block) *V {
+	if t.n >= len(t.slots)*3/4 { // covers the empty table: 0 >= 0
+		t.grow()
+	}
+	mask := len(t.slots) - 1
+	for i := t.home(b); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			s.used = true
+			s.key = b
+			t.n++
+			return &s.val
+		}
+		if s.key == b {
+			return &s.val
+		}
+	}
+}
+
+// Delete removes b, returning the value it held. Deletion is
+// tombstone-free: displaced successors in the probe chain are shifted
+// back over the hole, so lookups never scan dead slots.
+func (t *Table[V]) Delete(b mem.Block) (V, bool) {
+	var zero V
+	if t.n == 0 {
+		return zero, false
+	}
+	mask := len(t.slots) - 1
+	i := t.home(b)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return zero, false
+		}
+		if s.key == b {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	old := t.slots[i].val
+
+	// Backward-shift deletion: walk the contiguous run after i; any
+	// element whose probe distance reaches back to the hole moves into
+	// it (an element already at its home slot never moves).
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := &t.slots[j]
+		if !s.used {
+			break
+		}
+		if (j-t.home(s.key))&mask >= (j-i)&mask {
+			t.slots[i].key = s.key
+			t.slots[i].val = s.val
+			i = j
+		}
+	}
+	t.slots[i] = slot[V]{}
+	t.n--
+	return old, true
+}
+
+func (t *Table[V]) grow() {
+	size := len(t.slots) * 2
+	if size < minSize {
+		size = minSize
+	}
+	t.rehash(size)
+}
+
+func (t *Table[V]) rehash(size int) {
+	old := t.slots
+	t.slots = make([]slot[V], size)
+	t.shift = 64 - log2(size)
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			*t.Ref(old[i].key) = old[i].val
+		}
+	}
+}
+
+// log2 returns log2 of a power of two.
+func log2(size int) uint {
+	var l uint
+	for size > 1 {
+		size >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,217 @@
+package blockmap
+
+import (
+	"testing"
+
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/sim"
+)
+
+func TestBasicOps(t *testing.T) {
+	var tb Table[int]
+	if _, ok := tb.Get(5); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tb.Put(5, 50)
+	tb.Put(0, 1) // block 0 is a valid key, not a sentinel
+	if v, ok := tb.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v want 50,true", v, ok)
+	}
+	if v, ok := tb.Get(0); !ok || v != 1 {
+		t.Fatalf("Get(0) = %d,%v want 1,true", v, ok)
+	}
+	tb.Put(5, 51)
+	if v, _ := tb.Get(5); v != 51 || tb.Len() != 2 {
+		t.Fatalf("overwrite: got %d len %d, want 51 len 2", v, tb.Len())
+	}
+	if old, ok := tb.Delete(5); !ok || old != 51 {
+		t.Fatalf("Delete(5) = %d,%v want 51,true", old, ok)
+	}
+	if _, ok := tb.Get(5); ok || tb.Len() != 1 {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := tb.Delete(5); ok {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestRefInsertsZero(t *testing.T) {
+	var tb Table[uint8]
+	*tb.Ref(9) |= 2
+	*tb.Ref(9) |= 4
+	if v, ok := tb.Get(9); !ok || v != 6 {
+		t.Fatalf("Ref read-modify-write: got %d,%v want 6,true", v, ok)
+	}
+	if p := tb.Ptr(10); p != nil {
+		t.Fatal("Ptr materialized an absent key")
+	}
+	if p := tb.Ptr(9); p == nil || *p != 6 {
+		t.Fatal("Ptr missed a present key")
+	}
+}
+
+// TestCrossCheckStdlibMap drives a Table and a stdlib map with the same
+// randomized operation sequence — inserts, overwrites, deletes,
+// re-inserts after deletion — over key ranges both narrow (forcing long
+// probe chains and wraparound at the table boundary) and full-width,
+// and asserts every lookup and final state agree.
+func TestCrossCheckStdlibMap(t *testing.T) {
+	rng := sim.NewRand(0xb10c)
+	keyRanges := []uint64{8, 64, 1 << 20, 1 << 62}
+	for _, kr := range keyRanges {
+		var tb Table[uint64]
+		ref := make(map[mem.Block]uint64)
+		for op := 0; op < 60_000; op++ {
+			var b mem.Block
+			if kr > 1<<32 {
+				// Spread across the full key width, including huge
+				// values, to catch hash/shift overflow bugs.
+				b = mem.Block(rng.Uint64() % kr)
+			} else {
+				b = mem.Block(rng.Uint64() % kr)
+			}
+			switch rng.Intn(4) {
+			case 0, 1: // insert / overwrite
+				v := rng.Uint64()
+				tb.Put(b, v)
+				ref[b] = v
+			case 2: // delete
+				gv, gok := tb.Delete(b)
+				wv, wok := ref[b]
+				delete(ref, b)
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("range %d op %d: Delete(%d) = %d,%v want %d,%v", kr, op, b, gv, gok, wv, wok)
+				}
+			case 3: // lookup
+				gv, gok := tb.Get(b)
+				wv, wok := ref[b]
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("range %d op %d: Get(%d) = %d,%v want %d,%v", kr, op, b, gv, gok, wv, wok)
+				}
+			}
+			if tb.Len() != len(ref) {
+				t.Fatalf("range %d op %d: Len = %d, map has %d", kr, op, tb.Len(), len(ref))
+			}
+		}
+		// Full final-state sweep: every reference key present with the
+		// right value, and no probe chain broken by deletions.
+		for b, wv := range ref {
+			if gv, ok := tb.Get(b); !ok || gv != wv {
+				t.Fatalf("range %d final: Get(%d) = %d,%v want %d,true", kr, b, gv, ok, wv)
+			}
+		}
+	}
+}
+
+// TestDeleteReinsertAroundWrap forces a probe chain that wraps the end
+// of the backing array, deletes in the middle of it, and verifies the
+// chain stays reachable (the backward-shift must treat indices
+// cyclically).
+func TestDeleteReinsertAroundWrap(t *testing.T) {
+	var tb Table[int]
+	tb.Reserve(8) // 16 slots
+	// Find keys that hash to the last slot so their chains wrap.
+	var wrapKeys []mem.Block
+	for b := mem.Block(0); len(wrapKeys) < 6; b++ {
+		if tb.home(b) >= len(tb.slots)-2 {
+			wrapKeys = append(wrapKeys, b)
+		}
+	}
+	for i, b := range wrapKeys {
+		tb.Put(b, i)
+	}
+	// Delete the first two (the chain heads), forcing wrapped
+	// successors to shift back across the boundary.
+	tb.Delete(wrapKeys[0])
+	tb.Delete(wrapKeys[1])
+	for i, b := range wrapKeys[2:] {
+		if v, ok := tb.Get(b); !ok || v != i+2 {
+			t.Fatalf("key %d lost after wrap-boundary deletes: got %d,%v", b, v, ok)
+		}
+	}
+	// Re-insert around the boundary and re-verify.
+	tb.Put(wrapKeys[0], 100)
+	for i, b := range wrapKeys[2:] {
+		if v, ok := tb.Get(b); !ok || v != i+2 {
+			t.Fatalf("key %d lost after re-insert: got %d,%v", b, v, ok)
+		}
+	}
+	if v, ok := tb.Get(wrapKeys[0]); !ok || v != 100 {
+		t.Fatalf("re-inserted key: got %d,%v want 100,true", v, ok)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	var tb Table[int]
+	tb.Reserve(1000)
+	size := len(tb.slots)
+	for i := 0; i < 1000; i++ {
+		tb.Put(mem.Block(i*977), i)
+	}
+	if len(tb.slots) != size {
+		t.Fatalf("table rehashed despite Reserve: %d -> %d slots", size, len(tb.slots))
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := tb.Get(mem.Block(i * 977)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*977, v, ok)
+		}
+	}
+}
+
+// benchTableOps drives the steady-state mixed workload the simulator
+// generates — lookups dominating, insert/delete churn from
+// transactions retiring — over the given key range (a small range
+// makes lookups mostly hit, as the directory and history tables do; a
+// large one makes them mostly miss, as the pending tables do).
+func benchTableOps(b *testing.B, keyRange uint64) {
+	var tb Table[uint64]
+	rng := sim.NewRand(1)
+	const live = 1 << 14
+	for i := 0; i < live; i++ {
+		tb.Put(mem.Block(rng.Uint64()%keyRange), uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := mem.Block(rng.Uint64() % keyRange)
+		switch i & 7 {
+		case 0:
+			tb.Put(k, uint64(i))
+		case 1:
+			tb.Delete(k)
+		default:
+			tb.Get(k)
+		}
+	}
+}
+
+// BenchmarkBlockTable's steady state must report 0 allocs/op.
+func BenchmarkBlockTable(b *testing.B)     { benchTableOps(b, 1<<20) }
+func BenchmarkBlockTableHits(b *testing.B) { benchTableOps(b, 1<<14) }
+
+// benchMapOps is the same workload on map[mem.Block]uint64, for the
+// bench trajectory.
+func benchMapOps(b *testing.B, keyRange uint64) {
+	m := make(map[mem.Block]uint64)
+	rng := sim.NewRand(1)
+	const live = 1 << 14
+	for i := 0; i < live; i++ {
+		m[mem.Block(rng.Uint64()%keyRange)] = uint64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := mem.Block(rng.Uint64() % keyRange)
+		switch i & 7 {
+		case 0:
+			m[k] = uint64(i)
+		case 1:
+			delete(m, k)
+		default:
+			_ = m[k]
+		}
+	}
+}
+
+func BenchmarkStdlibMap(b *testing.B)     { benchMapOps(b, 1<<20) }
+func BenchmarkStdlibMapHits(b *testing.B) { benchMapOps(b, 1<<14) }

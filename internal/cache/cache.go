@@ -16,6 +16,7 @@
 package cache
 
 import (
+	"prefetchsim/internal/blockmap"
 	"prefetchsim/internal/mem"
 	"prefetchsim/internal/sim"
 )
@@ -136,28 +137,32 @@ type Store interface {
 
 // InfiniteStore is an SLC with unbounded capacity: no replacement
 // misses, so all remaining misses are cold or coherence misses (§5.1).
+// Lines live in an open-addressed block table, not a Go map: the SLC
+// tag lookup is on the path of every FLC miss.
 type InfiniteStore struct {
-	lines      map[mem.Block]Line
+	lines      blockmap.Table[Line]
 	prefetched int
 }
 
 // NewInfiniteStore returns an empty infinite SLC store.
 func NewInfiniteStore() *InfiniteStore {
-	return &InfiniteStore{lines: make(map[mem.Block]Line, 1<<16)}
+	c := &InfiniteStore{}
+	c.lines.Reserve(1 << 16)
+	return c
 }
 
 // Lookup implements Store.
 func (c *InfiniteStore) Lookup(b mem.Block) (Line, bool) {
-	l, ok := c.lines[b]
-	return l, ok
+	return c.lines.Get(b)
 }
 
 // Insert implements Store; an infinite store never evicts.
 func (c *InfiniteStore) Insert(b mem.Block, s State, prefetched bool) Victim {
-	if old, ok := c.lines[b]; ok && old.Prefetched {
+	l := c.lines.Ref(b)
+	if l.Prefetched {
 		c.prefetched--
 	}
-	c.lines[b] = Line{State: s, Prefetched: prefetched}
+	*l = Line{State: s, Prefetched: prefetched}
 	if prefetched {
 		c.prefetched++
 	}
@@ -166,32 +171,27 @@ func (c *InfiniteStore) Insert(b mem.Block, s State, prefetched bool) Victim {
 
 // SetState implements Store.
 func (c *InfiniteStore) SetState(b mem.Block, s State) {
-	if l, ok := c.lines[b]; ok {
+	if l := c.lines.Ptr(b); l != nil {
 		l.State = s
-		c.lines[b] = l
 	}
 }
 
 // ClearPrefetched implements Store.
 func (c *InfiniteStore) ClearPrefetched(b mem.Block) bool {
-	l, ok := c.lines[b]
-	if !ok || !l.Prefetched {
+	l := c.lines.Ptr(b)
+	if l == nil || !l.Prefetched {
 		return false
 	}
 	l.Prefetched = false
-	c.lines[b] = l
 	c.prefetched--
 	return true
 }
 
 // Invalidate implements Store.
 func (c *InfiniteStore) Invalidate(b mem.Block) (Line, bool) {
-	l, ok := c.lines[b]
-	if ok {
-		if l.Prefetched {
-			c.prefetched--
-		}
-		delete(c.lines, b)
+	l, ok := c.lines.Delete(b)
+	if ok && l.Prefetched {
+		c.prefetched--
 	}
 	return l, ok
 }

@@ -7,7 +7,10 @@
 // transient states (see DESIGN.md).
 package coherence
 
-import "prefetchsim/internal/mem"
+import (
+	"prefetchsim/internal/blockmap"
+	"prefetchsim/internal/mem"
+)
 
 // EntryState is the directory's view of a block.
 type EntryState uint8
@@ -33,6 +36,19 @@ func (s EntryState) String() string {
 	return "?"
 }
 
+// Waiter is a queued transaction continuation. The machine passes
+// pooled event objects, so queueing a waiter allocates nothing beyond
+// the queue's backing array.
+type Waiter interface {
+	Run()
+}
+
+// funcWaiter adapts a plain func to Waiter for the closure-based
+// Acquire form.
+type funcWaiter func()
+
+func (f funcWaiter) Run() { f() }
+
 // Entry is the directory record of one block.
 type Entry struct {
 	State   EntryState
@@ -40,15 +56,21 @@ type Entry struct {
 	Owner   int    // valid when State == Dirty
 
 	busy    bool
-	waiters []func()
+	waiters []Waiter
 }
 
 // Directory holds entries for every block ever referenced. Blocks not
-// present are Uncached; entries materialize on first use.
+// present are Uncached; entries materialize on first use. Entries are
+// slab-allocated in chunks — pointers stay stable for the directory's
+// lifetime without one heap object per block.
 type Directory struct {
 	nodes   int
-	entries map[mem.Block]*Entry
+	entries blockmap.Table[*Entry]
+	slab    []Entry
 }
+
+// entrySlab is how many entries materialize per slab allocation.
+const entrySlab = 1024
 
 // New returns a directory for a machine of nodes processing nodes
 // (nodes <= 64).
@@ -56,24 +78,29 @@ func New(nodes int) *Directory {
 	if nodes <= 0 || nodes > 64 {
 		panic("coherence: node count must be in 1..64")
 	}
-	return &Directory{nodes: nodes, entries: make(map[mem.Block]*Entry, 1<<16)}
+	d := &Directory{nodes: nodes}
+	d.entries.Reserve(1 << 16)
+	return d
 }
 
 // Entry returns the directory entry for b, materializing an Uncached
 // entry on first reference.
 func (d *Directory) Entry(b mem.Block) *Entry {
-	e, ok := d.entries[b]
-	if !ok {
-		e = &Entry{}
-		d.entries[b] = e
+	if e, ok := d.entries.Get(b); ok {
+		return e
 	}
+	if len(d.slab) == 0 {
+		d.slab = make([]Entry, entrySlab)
+	}
+	e := &d.slab[0]
+	d.slab = d.slab[1:]
+	d.entries.Put(b, e)
 	return e
 }
 
 // Peek returns the entry for b without materializing one.
 func (d *Directory) Peek(b mem.Block) (*Entry, bool) {
-	e, ok := d.entries[b]
-	return e, ok
+	return d.entries.Get(b)
 }
 
 // AddSharer sets node n's presence bit.
@@ -87,6 +114,11 @@ func (e *Entry) IsSharer(n int) bool { return e.sharers&(1<<uint(n)) != 0 }
 
 // ClearSharers drops all presence bits.
 func (e *Entry) ClearSharers() { e.sharers = 0 }
+
+// Bits returns the raw presence bit vector; bit n is node n. Hot paths
+// iterate this directly (ascending node order) instead of materializing
+// the Sharers slice.
+func (e *Entry) Bits() uint64 { return e.sharers }
 
 // Sharers returns the nodes with presence bits set, in ascending order
 // (deterministic iteration matters for reproducibility).
@@ -117,11 +149,17 @@ func (e *Entry) SharerCount() int {
 // immediately. Otherwise the continuation is queued and run (with the
 // entry busy on its behalf) when the current transaction releases.
 func (e *Entry) Acquire(cont func()) bool {
+	return e.AcquireWaiter(funcWaiter(cont))
+}
+
+// AcquireWaiter is Acquire for pooled waiters: nothing is allocated on
+// either outcome beyond the waiter queue's backing array.
+func (e *Entry) AcquireWaiter(w Waiter) bool {
 	if !e.busy {
 		e.busy = true
 		return true
 	}
-	e.waiters = append(e.waiters, cont)
+	e.waiters = append(e.waiters, w)
 	return false
 }
 
@@ -137,8 +175,9 @@ func (e *Entry) Release() {
 		return
 	}
 	next := e.waiters[0]
+	e.waiters[0] = nil
 	e.waiters = e.waiters[1:]
-	next()
+	next.Run()
 }
 
 // Busy reports whether a transaction is in flight for the entry.

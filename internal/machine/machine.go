@@ -17,6 +17,7 @@ package machine
 import (
 	"fmt"
 
+	"prefetchsim/internal/blockmap"
 	"prefetchsim/internal/cache"
 	"prefetchsim/internal/coherence"
 	"prefetchsim/internal/mem"
@@ -104,6 +105,11 @@ type Machine struct {
 	locks map[uint64]*lockState
 	bar   barrier
 
+	// Free lists for the pooled protocol events and transaction
+	// records (events.go); the steady-state protocol allocates nothing.
+	evFree *ev
+	txFree []*pendingTx
+
 	// Stats accumulates results; valid after Run.
 	Stats *stats.Machine
 }
@@ -116,12 +122,15 @@ const (
 	txWrite               // ownership acquisition (upgrade / read-exclusive)
 )
 
-// pendingTx is an outstanding transaction for one block (an SLWB entry).
+// pendingTx is an outstanding transaction for one block (an SLWB
+// entry). Records are pooled on the machine (events.go).
 type pendingTx struct {
 	kind     txKind
 	prefetch bool // read issued by the prefetcher
 	demand   bool // a demand read is blocked on this transaction
-	resume   func(sim.Time)
+	// issue is the demand read's processor-side issue time; the fill
+	// charges the read stall against it (resumeDemand).
+	issue sim.Time
 	// writeRefs counts buffered writes whose completion (for release
 	// consistency) depends on this transaction.
 	writeRefs int
@@ -157,10 +166,10 @@ type node struct {
 	slc    cache.Store
 	slcRes sim.Resource
 
-	pending     map[mem.Block]*pendingTx
-	wbPending   map[mem.Block][]func(sim.Time)
+	pending     blockmap.Table[*pendingTx]
+	wbPending   blockmap.Table[[]func(sim.Time)]
 	slwbUsed    int
-	slwbWaiters []func(sim.Time)
+	slwbWaiters []slwbWaiter
 
 	// outWrites counts write transactions not yet globally performed;
 	// releases and barriers wait for it to reach zero (release
@@ -168,7 +177,21 @@ type node struct {
 	outWrites int
 	drainWait func(sim.Time)
 
-	hist map[mem.Block]uint8
+	hist blockmap.Table[uint8]
+
+	// Scratch state for the prefetcher's issue callback: pfEmit is
+	// built once per node so OnRead allocates no closure per read;
+	// pfBlock/pfTime carry the triggering access (processor.go).
+	pfBlock mem.Block
+	pfTime  sim.Time
+	pfEmit  func(pb mem.Block)
+}
+
+// slwbWaiter is a dispatched-on-slot-free transaction queued behind a
+// full SLWB.
+type slwbWaiter struct {
+	b  mem.Block
+	tx *pendingTx
 }
 
 // New builds a machine running the given program. The program must have
@@ -205,22 +228,21 @@ func New(cfg Config, prog *trace.Program) (*Machine, error) {
 			store = cache.NewDirectStore(cfg.SLCSize)
 		}
 		n := &node{
-			id:        i,
-			st:        &m.Stats.Nodes[i],
-			stream:    prog.Streams[i],
-			flc:       cache.NewFLC(cfg.FLCSize),
-			flwb:      cache.NewWriteBuffer(cfg.FLWBEntries),
-			slc:       store,
-			pending:   make(map[mem.Block]*pendingTx),
-			wbPending: make(map[mem.Block][]func(sim.Time)),
-			hist:      make(map[mem.Block]uint8, 1<<14),
+			id:     i,
+			st:     &m.Stats.Nodes[i],
+			stream: prog.Streams[i],
+			flc:    cache.NewFLC(cfg.FLCSize),
+			flwb:   cache.NewWriteBuffer(cfg.FLWBEntries),
+			slc:    store,
 		}
+		n.hist.Reserve(1 << 14)
 		if cfg.NewPrefetcher != nil {
 			n.pf = cfg.NewPrefetcher(i)
 		} else {
 			n.pf = prefetch.None{}
 		}
 		n.stepFn = func() { m.stepNode(n) }
+		n.pfEmit = func(pb mem.Block) { m.emitPrefetch(n, pb) }
 		m.nodes = append(m.nodes, n)
 	}
 	return m, nil
@@ -241,7 +263,7 @@ func (m *Machine) Run() (*stats.Machine, error) {
 	for _, n := range m.nodes {
 		if !n.done {
 			return nil, fmt.Errorf("machine: deadlock: node %d stopped at t=%d (outWrites=%d, pending=%d, barrier arrived=%d/%d)",
-				n.id, n.time, n.outWrites, len(n.pending), m.bar.arrived, m.cfg.Processors)
+				n.id, n.time, n.outWrites, n.pending.Len(), m.bar.arrived, m.cfg.Processors)
 		}
 	}
 	m.finalize()
@@ -271,19 +293,9 @@ func (m *Machine) scheduleStep(n *node) {
 	m.eng.At(n.time, n.stepFn)
 }
 
-// allocSLWB grants an SLWB slot at time t, or queues cont until one
-// frees (the lockup-free SLC stalls new requests when the SLWB fills).
-func (m *Machine) allocSLWB(n *node, t sim.Time, cont func(sim.Time)) {
-	if n.slwbUsed < m.cfg.SLWBEntries {
-		n.slwbUsed++
-		cont(t)
-		return
-	}
-	n.slwbWaiters = append(n.slwbWaiters, cont)
-}
-
 // trySLWB claims a slot if one is free; prefetches are dropped rather
-// than queued when the SLWB is full.
+// than queued when the SLWB is full (the lockup-free SLC stalls demand
+// requests instead — see startReadTx/startWriteTx).
 func (m *Machine) trySLWB(n *node) bool {
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
@@ -292,21 +304,27 @@ func (m *Machine) trySLWB(n *node) bool {
 	return false
 }
 
-// freeSLWB releases a slot, admitting the oldest waiter if any.
+// freeSLWB releases a slot, dispatching the oldest queued transaction
+// if any.
 func (m *Machine) freeSLWB(n *node) {
 	n.slwbUsed--
 	if len(n.slwbWaiters) > 0 {
-		cont := n.slwbWaiters[0]
+		w := n.slwbWaiters[0]
+		n.slwbWaiters[0] = slwbWaiter{}
 		n.slwbWaiters = n.slwbWaiters[1:]
 		n.slwbUsed++
-		cont(m.eng.Now())
+		if w.tx.kind == txRead {
+			m.dispatchReadTx(n, w.b, w.tx, m.eng.Now())
+		} else {
+			m.dispatchWriteTx(n, w.b, w.tx, m.eng.Now())
+		}
 	}
 }
 
 // classifyMiss attributes a demand read miss to cold, coherence or
 // replacement (§5.1, §5.3).
 func (m *Machine) classifyMiss(n *node, b mem.Block) {
-	h := n.hist[b]
+	h, _ := n.hist.Get(b)
 	switch {
 	case h&hTouched == 0:
 		n.st.ColdMisses++

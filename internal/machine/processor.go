@@ -106,7 +106,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 	// mechanism (§3.2); proposals issue after the current access. A
 	// block whose prefetch is still in flight is reported as merged.
 	merged := false
-	if tx, ok := n.pending[b]; ok && tx.kind == txRead && tx.prefetch {
+	if tx, ok := n.pending.Get(b); ok && tx.kind == txRead && tx.prefetch {
 		merged = true
 	}
 	m.firePrefetcher(n, op.PC, addr, b, present, consumed, merged, slcStart+SLCCycle)
@@ -121,13 +121,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 	}
 
 	// SLC miss.
-	resume := func(t sim.Time) {
-		n.st.ReadStall += t - issue - FLCHit
-		n.time = t
-		m.scheduleStep(n)
-	}
-
-	if tx, ok := n.pending[b]; ok {
+	if tx, ok := n.pending.Get(b); ok {
 		// The block is already in flight; the read merges with the
 		// outstanding SLWB entry rather than issuing a new request.
 		if tx.prefetch && !tx.demand {
@@ -148,7 +142,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 			}
 		}
 		tx.demand = true
-		tx.resume = resume
+		tx.issue = issue
 		return false
 	}
 	n.st.ReadMisses++
@@ -157,52 +151,61 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 		m.cfg.MissObserver(n.id, op.PC, addr)
 	}
 	missAt := slcStart + SLCCycle
-	if cbs, ok := n.wbPending[b]; ok {
+	if cbs := n.wbPending.Ptr(b); cbs != nil {
 		// The node is writing this very block back; wait for the ack so
 		// the directory never sees us as both owner and requester. A
 		// write deferred behind the same writeback may have started a
 		// transaction by the time the ack arrives: merge with it.
-		n.wbPending[b] = append(cbs, func(t sim.Time) {
-			if tx, ok := n.pending[b]; ok {
+		*cbs = append(*cbs, func(t sim.Time) {
+			if tx, ok := n.pending.Get(b); ok {
 				tx.demand = true
-				tx.resume = resume
+				tx.issue = issue
 				return
 			}
-			m.startReadTx(n, b, false, t, resume)
+			m.startReadTx(n, b, false, t, true, issue)
 		})
 		return false
 	}
-	m.startReadTx(n, b, false, missAt, resume)
+	m.startReadTx(n, b, false, missAt, true, issue)
 	return false
 }
 
-// firePrefetcher lets the node's prefetch engine observe an SLC read and
-// issues the proposals that survive filtering: same page (§2, no
-// prefetching across page boundaries), not cached, not already in
-// flight, and an SLWB slot available (otherwise the prefetch is
-// dropped).
+// firePrefetcher lets the node's prefetch engine observe an SLC read.
+// Proposals arrive on the node's cached pfEmit callback (built once in
+// New, so the per-read hot path allocates no closure); the triggering
+// block and issue time travel in the node's pfBlock/pfTime scratch
+// fields. OnRead never re-enters the processor, so the scratch fields
+// are stable for the duration of the call.
 func (m *Machine) firePrefetcher(n *node, pc trace.PC, addr mem.Addr, b mem.Block, hit, consumed, merged bool, t sim.Time) {
+	n.pfBlock, n.pfTime = b, t
 	n.pf.OnRead(prefetch.Request{
 		PC: pc, Addr: addr, Block: b, Hit: hit, TagConsumed: consumed, Merged: merged,
-	}, func(pb mem.Block) {
-		if !mem.SamePage(b, pb) || pb == b {
-			return
-		}
-		if _, ok := n.slc.Lookup(pb); ok {
-			return
-		}
-		if _, ok := n.pending[pb]; ok {
-			return
-		}
-		if _, ok := n.wbPending[pb]; ok {
-			return
-		}
-		if !m.trySLWB(n) {
-			return
-		}
-		n.st.PrefetchesIssued++
-		m.sendReadTx(n, pb, true, t, nil)
-	})
+	}, n.pfEmit)
+}
+
+// emitPrefetch issues one prefetch proposal that survives filtering:
+// same page (§2, no prefetching across page boundaries), not cached,
+// not already in flight, and an SLWB slot available (otherwise the
+// prefetch is dropped).
+func (m *Machine) emitPrefetch(n *node, pb mem.Block) {
+	b := n.pfBlock
+	if !mem.SamePage(b, pb) || pb == b {
+		return
+	}
+	if _, ok := n.slc.Lookup(pb); ok {
+		return
+	}
+	if _, ok := n.pending.Get(pb); ok {
+		return
+	}
+	if _, ok := n.wbPending.Get(pb); ok {
+		return
+	}
+	if !m.trySLWB(n) {
+		return
+	}
+	n.st.PrefetchesIssued++
+	m.sendReadTx(n, pb, true, n.pfTime)
 }
 
 // doWrite executes one store and reports whether the processor may
@@ -245,16 +248,16 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 	// Ownership is needed: the write completes (for release
 	// consistency) when the directory grants it.
 	n.outWrites++
-	if tx, ok := n.pending[b]; ok {
+	if tx, ok := n.pending.Get(b); ok {
 		tx.writeRefs++
 		if tx.kind == txRead {
 			tx.wantWrite = true
 		}
-	} else if _, ok := n.wbPending[b]; ok {
+	} else if cbs := n.wbPending.Ptr(b); cbs != nil {
 		// Another operation deferred behind the same writeback may have
 		// started a transaction by ack time: merge onto it.
-		n.wbPending[b] = append(n.wbPending[b], func(t sim.Time) {
-			if tx, ok := n.pending[b]; ok {
+		*cbs = append(*cbs, func(t sim.Time) {
+			if tx, ok := n.pending.Get(b); ok {
 				tx.writeRefs++
 				if tx.kind == txRead {
 					tx.wantWrite = true

@@ -18,76 +18,77 @@ import (
 // the home. Directory entries serialize transactions per block (see
 // DESIGN.md), which stands in for the transient states of a real
 // implementation.
+//
+// Every protocol hop is a pooled ev (events.go), not a closure: the
+// handlers here receive the ev carrying the transaction's state and
+// reschedule it (or a fresh pooled ev) for the next hop.
 
 // startReadTx registers the transaction (so later operations on the
 // block merge with it instead of duplicating it), acquires an SLWB slot
 // — demand reads wait for one; the prefetch path reserves its slot
-// beforehand via trySLWB — and launches the read.
-func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, resume func(sim.Time)) {
-	tx := &pendingTx{kind: txRead, prefetch: isPrefetch, demand: resume != nil, resume: resume}
-	n.pending[b] = tx
-	m.allocSLWB(n, t, func(t2 sim.Time) {
-		m.dispatchReadTx(n, b, tx, t2)
-	})
+// beforehand via trySLWB — and launches the read. For demand reads,
+// issue is the processor-side issue time the eventual fill charges the
+// read-stall against.
+func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, demand bool, issue sim.Time) {
+	tx := m.newTx(txRead)
+	tx.prefetch = isPrefetch
+	tx.demand = demand
+	tx.issue = issue
+	n.pending.Put(b, tx)
+	if n.slwbUsed < m.cfg.SLWBEntries {
+		n.slwbUsed++
+		m.dispatchReadTx(n, b, tx, t)
+		return
+	}
+	n.slwbWaiters = append(n.slwbWaiters, slwbWaiter{b: b, tx: tx})
 }
 
 // sendReadTx launches a read transaction whose SLWB slot is already
 // held.
-func (m *Machine) sendReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, resume func(sim.Time)) {
-	tx := &pendingTx{kind: txRead, prefetch: isPrefetch, demand: resume != nil, resume: resume}
-	n.pending[b] = tx
+func (m *Machine) sendReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time) {
+	tx := m.newTx(txRead)
+	tx.prefetch = isPrefetch
+	n.pending.Put(b, tx)
 	m.dispatchReadTx(n, b, tx, t)
 }
 
 func (m *Machine) dispatchReadTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
 	home := m.home(b)
 	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
-	m.eng.At(arrive, func() { m.homeRead(home, n, b, tx) })
+	c := m.newEv(evHomeRead)
+	c.n, c.b, c.tx, c.home = n, b, tx, home
+	m.eng.Schedule(arrive, c)
 }
 
-// homeRead services a read request at the block's home node.
-func (m *Machine) homeRead(home int, n *node, b mem.Block, tx *pendingTx) {
-	e := m.dir.Entry(b)
-	run := func() {
-		t := m.eng.Now()
-		switch e.State {
-		case coherence.Uncached, coherence.SharedClean:
-			// Memory responds directly (0 or 2 traversals).
-			done := m.mems[home].Access(t)
-			e.State = coherence.SharedClean
-			e.AddSharer(n.id)
-			arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
-			m.eng.At(arrive, func() { m.finishReadFill(n, b, tx, e) })
+// homeRead services a read request at the block's home node. The event
+// holds the directory entry (acquired in fireEv/runHome).
+func (m *Machine) homeRead(c *ev) {
+	e, n, b, home := c.e, c.n, c.b, c.home
+	t := m.eng.Now()
+	switch e.State {
+	case coherence.Uncached, coherence.SharedClean:
+		// Memory responds directly (0 or 2 traversals).
+		done := m.mems[home].Access(t)
+		e.State = coherence.SharedClean
+		e.AddSharer(n.id)
+		arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
+		f := m.newEv(evReadFill)
+		f.n, f.b, f.tx, f.e = n, b, c.tx, e
+		m.eng.Schedule(arrive, f)
 
-		case coherence.Dirty:
-			owner := e.Owner
-			if owner == n.id {
-				panic(fmt.Sprintf("machine: node %d read-misses a block the directory says it owns", n.id))
-			}
-			// Four traversals: home asks the owner for a fresh copy,
-			// memory is updated, then the requester is answered.
-			ctrl := m.mems[home].Control(t)
-			fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
-			m.eng.At(fwd, func() {
-				own := m.nodes[owner]
-				supplyAt, hadCopy := m.ownerDowngrade(own, b)
-				wbArrive := m.mesh.Send(network.ReplyPlane, owner, home, network.DataFlits, supplyAt)
-				m.eng.At(wbArrive, func() {
-					done := m.mems[home].Access(m.eng.Now())
-					e.State = coherence.SharedClean
-					e.ClearSharers()
-					if hadCopy {
-						e.AddSharer(owner)
-					}
-					e.AddSharer(n.id)
-					arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
-					m.eng.At(arrive, func() { m.finishReadFill(n, b, tx, e) })
-				})
-			})
+	case coherence.Dirty:
+		owner := e.Owner
+		if owner == n.id {
+			panic(fmt.Sprintf("machine: node %d read-misses a block the directory says it owns", n.id))
 		}
-	}
-	if e.Acquire(run) {
-		run()
+		// Four traversals: home asks the owner for a fresh copy,
+		// memory is updated, then the requester is answered
+		// (evReadFwd -> evReadWb -> evReadFill in events.go).
+		ctrl := m.mems[home].Control(t)
+		fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
+		f := m.newEv(evReadFwd)
+		f.n, f.b, f.tx, f.e, f.home, f.aux = n, b, c.tx, e, home, owner
+		m.eng.Schedule(fwd, f)
 	}
 }
 
@@ -104,7 +105,7 @@ func (m *Machine) ownerDowngrade(own *node, b mem.Block) (sim.Time, bool) {
 		own.slc.SetState(b, cache.Shared)
 		return t, true
 	}
-	if _, ok := own.wbPending[b]; !ok {
+	if _, ok := own.wbPending.Get(b); !ok {
 		panic(fmt.Sprintf("machine: forward to node %d for absent block %d with no writeback in flight", own.id, b))
 	}
 	return t, false
@@ -119,14 +120,22 @@ func (m *Machine) ownerInvalidate(own *node, b mem.Block) sim.Time {
 			panic(fmt.Sprintf("machine: owner-invalidate at node %d for %v block", own.id, line.State))
 		}
 		own.flc.Invalidate(b)
-		own.hist[b] |= hInv
+		*own.hist.Ref(b) |= hInv
 		own.st.InvalidationsReceived++
 		return t
 	}
-	if _, ok := own.wbPending[b]; !ok {
+	if _, ok := own.wbPending.Get(b); !ok {
 		panic(fmt.Sprintf("machine: owner-invalidate at node %d for absent block %d with no writeback in flight", own.id, b))
 	}
 	return t
+}
+
+// resumeDemand unblocks the processor waiting on tx at time t, charging
+// the read stall against the transaction's issue time.
+func (m *Machine) resumeDemand(n *node, tx *pendingTx, t sim.Time) {
+	n.st.ReadStall += t - tx.issue - FLCHit
+	n.time = t
+	m.scheduleStep(n)
 }
 
 // finishReadFill completes a read transaction at the requester: the
@@ -143,30 +152,34 @@ func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coheren
 	tag := tx.prefetch && !tx.demand && !tx.invalidated
 	victim := n.slc.Insert(b, cache.Shared, tag)
 	m.handleVictim(n, victim, done)
-	n.hist[b] = (n.hist[b] | hTouched) &^ (hInv | hRepl)
+	h := n.hist.Ref(b)
+	*h = (*h | hTouched) &^ (hInv | hRepl)
 
 	if tx.invalidated {
 		// An invalidation raced ahead of the data: the value is
 		// delivered to the processor once but the block is not cached.
 		n.slc.Invalidate(b)
 		n.flc.Invalidate(b)
-		n.hist[b] |= hInv
+		*n.hist.Ref(b) |= hInv
 	}
 	if tx.demand {
 		if !tx.invalidated {
 			n.flc.Fill(b)
 		}
-		tx.resume(done + FLCFillForward)
+		m.resumeDemand(n, tx, done+FLCFillForward)
 	}
-	delete(n.pending, b)
+	n.pending.Delete(b)
 	e.Release()
 
 	if tx.wantWrite {
 		// Writes merged onto this read; acquire ownership now, reusing
 		// the SLWB slot.
-		m.sendWriteTx(n, b, done, tx.writeRefs)
+		refs := tx.writeRefs
+		m.putTx(tx)
+		m.sendWriteTx(n, b, done, refs)
 		return
 	}
+	m.putTx(tx)
 	m.freeSLWB(n)
 }
 
@@ -174,105 +187,106 @@ func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coheren
 // later writes to the block merge onto it even while it waits for an
 // SLWB slot), then acquires the slot and dispatches.
 func (m *Machine) startWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
-	tx := &pendingTx{kind: txWrite, writeRefs: refs}
-	n.pending[b] = tx
-	m.allocSLWB(n, t, func(t2 sim.Time) {
-		m.dispatchWriteTx(n, b, tx, t2)
-	})
+	tx := m.newTx(txWrite)
+	tx.writeRefs = refs
+	n.pending.Put(b, tx)
+	if n.slwbUsed < m.cfg.SLWBEntries {
+		n.slwbUsed++
+		m.dispatchWriteTx(n, b, tx, t)
+		return
+	}
+	n.slwbWaiters = append(n.slwbWaiters, slwbWaiter{b: b, tx: tx})
 }
 
 // sendWriteTx launches an ownership transaction whose SLWB slot is
 // already held (a write merged onto a completed read reuses its slot).
 func (m *Machine) sendWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
-	tx := &pendingTx{kind: txWrite, writeRefs: refs}
-	n.pending[b] = tx
+	tx := m.newTx(txWrite)
+	tx.writeRefs = refs
+	n.pending.Put(b, tx)
 	m.dispatchWriteTx(n, b, tx, t)
 }
 
 func (m *Machine) dispatchWriteTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
 	home := m.home(b)
 	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
-	m.eng.At(arrive, func() { m.homeWrite(home, n, b, tx) })
+	c := m.newEv(evHomeWrite)
+	c.n, c.b, c.tx, c.home = n, b, tx, home
+	m.eng.Schedule(arrive, c)
+}
+
+// sendWriteGrant makes c's requester the dirty owner and schedules the
+// grant's arrival there. done is when home memory finished its part;
+// withData picks data-vs-control reply size (an upgrade whose requester
+// is still a sharer needs no data). c itself is not consumed: callers
+// recycle it.
+func (m *Machine) sendWriteGrant(c *ev, done sim.Time, withData bool) {
+	e := c.e
+	e.State = coherence.Dirty
+	e.Owner = c.n.id
+	e.ClearSharers()
+	flits := network.CtrlFlits
+	if withData {
+		flits = network.DataFlits
+	}
+	arrive := m.mesh.Send(network.ReplyPlane, c.home, c.n.id, flits, done)
+	f := m.newEv(evWriteGrant)
+	f.n, f.b, f.tx, f.e = c.n, c.b, c.tx, c.e
+	m.eng.Schedule(arrive, f)
 }
 
 // homeWrite services an ownership request (upgrade or read-exclusive).
-func (m *Machine) homeWrite(home int, n *node, b mem.Block, tx *pendingTx) {
-	e := m.dir.Entry(b)
-	run := func() {
-		t := m.eng.Now()
-		grant := func(done sim.Time, withData bool) {
-			e.State = coherence.Dirty
-			e.Owner = n.id
-			e.ClearSharers()
-			flits := network.CtrlFlits
-			if withData {
-				flits = network.DataFlits
+// The event holds the directory entry.
+func (m *Machine) homeWrite(c *ev) {
+	e, n, home := c.e, c.n, c.home
+	t := m.eng.Now()
+	switch e.State {
+	case coherence.Uncached:
+		m.sendWriteGrant(c, m.mems[home].Access(t), true)
+
+	case coherence.SharedClean:
+		wasSharer := e.IsSharer(n.id)
+		targets := e.SharerCount()
+		if wasSharer {
+			targets--
+		}
+		if targets == 0 {
+			if wasSharer {
+				m.sendWriteGrant(c, m.mems[home].Control(t), false)
+			} else {
+				m.sendWriteGrant(c, m.mems[home].Access(t), true)
 			}
-			arrive := m.mesh.Send(network.ReplyPlane, home, n.id, flits, done)
-			m.eng.At(arrive, func() { m.finishWriteGrant(n, b, tx, e) })
+			return
+		}
+		// Invalidate every other sharer (ascending node order, for
+		// reproducibility); acks collect on a pooled coordinator event
+		// that issues the grant when the last one arrives (evInvAck in
+		// events.go).
+		ctrl := m.mems[home].Control(t)
+		co := m.newEv(evInvCoord)
+		co.n, co.b, co.tx, co.e, co.home = n, c.b, c.tx, e, home
+		co.aux = targets
+		co.flag = wasSharer
+		for v, s := e.Bits(), 0; v != 0; v, s = v>>1, s+1 {
+			if v&1 == 0 || s == n.id {
+				continue
+			}
+			invArrive := m.mesh.Send(network.ReqPlane, home, s, network.CtrlFlits, ctrl)
+			f := m.newEv(evInvSend)
+			f.b, f.home, f.aux, f.co = c.b, home, s, co
+			m.eng.Schedule(invArrive, f)
 		}
 
-		switch e.State {
-		case coherence.Uncached:
-			grant(m.mems[home].Access(t), true)
-
-		case coherence.SharedClean:
-			wasSharer := e.IsSharer(n.id)
-			var targets []int
-			for _, s := range e.Sharers() {
-				if s != n.id {
-					targets = append(targets, s)
-				}
-			}
-			if len(targets) == 0 {
-				if wasSharer {
-					grant(m.mems[home].Control(t), false)
-				} else {
-					grant(m.mems[home].Access(t), true)
-				}
-				return
-			}
-			// Invalidate every other sharer; collect acks at home.
-			ctrl := m.mems[home].Control(t)
-			remaining := len(targets)
-			for _, s := range targets {
-				s := s
-				invArrive := m.mesh.Send(network.ReqPlane, home, s, network.CtrlFlits, ctrl)
-				m.eng.At(invArrive, func() {
-					ackAt := m.applyInv(m.nodes[s], b)
-					ackArrive := m.mesh.Send(network.ReplyPlane, s, home, network.CtrlFlits, ackAt)
-					m.eng.At(ackArrive, func() {
-						remaining--
-						if remaining > 0 {
-							return
-						}
-						if wasSharer {
-							grant(m.mems[home].Control(m.eng.Now()), false)
-						} else {
-							grant(m.mems[home].Access(m.eng.Now()), true)
-						}
-					})
-				})
-			}
-
-		case coherence.Dirty:
-			owner := e.Owner
-			if owner == n.id {
-				panic(fmt.Sprintf("machine: node %d write-misses a block the directory says it owns", n.id))
-			}
-			ctrl := m.mems[home].Control(t)
-			fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
-			m.eng.At(fwd, func() {
-				supplyAt := m.ownerInvalidate(m.nodes[owner], b)
-				dataArrive := m.mesh.Send(network.ReplyPlane, owner, home, network.DataFlits, supplyAt)
-				m.eng.At(dataArrive, func() {
-					grant(m.mems[home].Access(m.eng.Now()), true)
-				})
-			})
+	case coherence.Dirty:
+		owner := e.Owner
+		if owner == n.id {
+			panic(fmt.Sprintf("machine: node %d write-misses a block the directory says it owns", n.id))
 		}
-	}
-	if e.Acquire(run) {
-		run()
+		ctrl := m.mems[home].Control(t)
+		fwd := m.mesh.Send(network.ReqPlane, home, owner, network.CtrlFlits, ctrl)
+		f := m.newEv(evWriteFwd)
+		f.n, f.b, f.tx, f.e, f.home, f.aux = n, c.b, c.tx, e, home, owner
+		m.eng.Schedule(fwd, f)
 	}
 }
 
@@ -286,14 +300,15 @@ func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coher
 
 	victim := n.slc.Insert(b, cache.Modified, false)
 	m.handleVictim(n, victim, done)
-	n.hist[b] = (n.hist[b] | hTouched) &^ (hInv | hRepl)
+	h := n.hist.Ref(b)
+	*h = (*h | hTouched) &^ (hInv | hRepl)
 
 	if tx.demand {
 		// A read merged onto this ownership transaction.
 		n.flc.Fill(b)
-		tx.resume(done + FLCFillForward)
+		m.resumeDemand(n, tx, done+FLCFillForward)
 	}
-	delete(n.pending, b)
+	n.pending.Delete(b)
 	e.Release()
 	m.freeSLWB(n)
 
@@ -306,6 +321,7 @@ func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coher
 		n.drainWait = nil
 		w(done)
 	}
+	m.putTx(tx)
 }
 
 // applyInv applies an invalidation at a sharer node and returns the ack
@@ -315,9 +331,9 @@ func (m *Machine) applyInv(n *node, b mem.Block) sim.Time {
 	t := n.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
 	if _, ok := n.slc.Invalidate(b); ok {
 		n.flc.Invalidate(b)
-		n.hist[b] |= hInv
+		*n.hist.Ref(b) |= hInv
 		n.st.InvalidationsReceived++
-	} else if tx, ok := n.pending[b]; ok && tx.kind == txRead {
+	} else if tx, ok := n.pending.Get(b); ok && tx.kind == txRead {
 		tx.invalidated = true
 	}
 	return t
@@ -331,47 +347,39 @@ func (m *Machine) handleVictim(n *node, v cache.Victim, t sim.Time) {
 		return
 	}
 	n.flc.Invalidate(v.Block)
-	n.hist[v.Block] |= hRepl
+	*n.hist.Ref(v.Block) |= hRepl
 	if v.Line.State != cache.Modified {
 		return // shared victims are dropped silently (full-map tolerates stale presence bits)
 	}
 	n.st.Writebacks++
-	if _, ok := n.wbPending[v.Block]; ok {
+	if _, ok := n.wbPending.Get(v.Block); ok {
 		panic("machine: duplicate writeback in flight")
 	}
-	n.wbPending[v.Block] = nil
+	n.wbPending.Put(v.Block, nil)
 	home := m.home(v.Block)
 	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.DataFlits, t)
-	m.eng.At(arrive, func() { m.homeWriteback(home, n, v.Block) })
+	c := m.newEv(evWriteback)
+	c.n, c.b, c.home = n, v.Block, home
+	m.eng.Schedule(arrive, c)
 }
 
 // homeWriteback retires an eviction writeback at the home. A writeback
 // that lost a race with another transaction (the directory no longer
 // shows the sender as owner) is stale and is simply acknowledged.
-func (m *Machine) homeWriteback(home int, n *node, b mem.Block) {
-	e := m.dir.Entry(b)
-	run := func() {
-		t := m.eng.Now()
-		var done sim.Time
-		if e.State == coherence.Dirty && e.Owner == n.id {
-			done = m.mems[home].Access(t)
-			e.State = coherence.Uncached
-			e.ClearSharers()
-		} else {
-			done = m.mems[home].Control(t)
-		}
-		ackArrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.CtrlFlits, done)
-		e.Release()
-		m.eng.At(ackArrive, func() {
-			cbs := n.wbPending[b]
-			delete(n.wbPending, b)
-			now := m.eng.Now()
-			for _, cb := range cbs {
-				cb(now)
-			}
-		})
+func (m *Machine) homeWriteback(c *ev) {
+	e, n, b, home := c.e, c.n, c.b, c.home
+	t := m.eng.Now()
+	var done sim.Time
+	if e.State == coherence.Dirty && e.Owner == n.id {
+		done = m.mems[home].Access(t)
+		e.State = coherence.Uncached
+		e.ClearSharers()
+	} else {
+		done = m.mems[home].Control(t)
 	}
-	if e.Acquire(run) {
-		run()
-	}
+	ackArrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.CtrlFlits, done)
+	e.Release()
+	f := m.newEv(evWritebackAck)
+	f.n, f.b = n, b
+	m.eng.Schedule(ackArrive, f)
 }

@@ -86,11 +86,11 @@ func checkInvariants(t *testing.T, m *Machine, label string) {
 		if n.outWrites != 0 {
 			t.Errorf("%s: node %d has %d outstanding writes after completion", label, n.id, n.outWrites)
 		}
-		if len(n.pending) != 0 {
-			t.Errorf("%s: node %d has %d pending transactions", label, n.id, len(n.pending))
+		if n.pending.Len() != 0 {
+			t.Errorf("%s: node %d has %d pending transactions", label, n.id, n.pending.Len())
 		}
-		if len(n.wbPending) != 0 {
-			t.Errorf("%s: node %d has %d writebacks in flight", label, n.id, len(n.wbPending))
+		if n.wbPending.Len() != 0 {
+			t.Errorf("%s: node %d has %d writebacks in flight", label, n.id, n.wbPending.Len())
 		}
 		if n.slwbUsed != 0 {
 			t.Errorf("%s: node %d SLWB count leaked: %d", label, n.id, n.slwbUsed)

@@ -1,0 +1,69 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags
+// into the command-line tools, so a slow sweep can be profiled in
+// place (go tool pprof <binary> <profile>) instead of reconstructing
+// the configuration under go test -bench.
+package prof
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	cpu, mem string
+	cpuFile  *os.File
+}
+
+// Register installs -cpuprofile and -memprofile on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.mem, "memprofile", "", "write an allocation profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling if requested. Call after flag.Parse.
+func (f *Flags) Start() error {
+	if f.cpu == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return err
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop flushes the requested profiles. It is a no-op when neither flag
+// was set.
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			return err
+		}
+		f.cpuFile = nil
+	}
+	if f.mem == "" {
+		return nil
+	}
+	file, err := os.Create(f.mem)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // up-to-date allocation statistics
+	if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

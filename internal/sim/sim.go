@@ -4,43 +4,49 @@
 // clock, per Table 1 of the paper). Events are totally ordered by
 // (time, insertion sequence) so that simulations are reproducible
 // run-to-run regardless of map iteration order or scheduling.
+//
+// The queue is a hand-rolled 4-ary min-heap over plain event structs:
+// no container/heap, no interface{} boxing on push or pop, and popped
+// slots are zeroed so the backing array never retains dead callbacks.
+// High-frequency schedulers avoid the per-event closure allocation of
+// At/After entirely by implementing Handler on a pooled object and
+// scheduling it with Schedule (see internal/machine's event pool).
 package sim
-
-import "container/heap"
 
 // Time is a point in simulated time, in pclocks.
 type Time int64
 
-// Event is a scheduled callback.
+// Handler is a pre-allocated event callback. Fire runs when the
+// event's time arrives, with t the (now current) scheduled time.
+// Components that schedule at high frequency implement Handler on
+// pooled objects and use Schedule, so the common schedule/fire cycle
+// reuses event slots instead of allocating a closure per event.
+type Handler interface {
+	Fire(t Time)
+}
+
+// event is one queue slot. Exactly one of fn and h is set.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	h   Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the total order (time, insertion sequence); seq is unique,
+// so two events never compare equal and any correct heap pops them in
+// the same deterministic order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic event-driven simulator. The zero value is
 // ready to use.
 type Engine struct {
-	queue eventHeap
+	queue []event // 4-ary min-heap
 	now   Time
 	seq   uint64
 }
@@ -55,11 +61,81 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d pclocks from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Schedule schedules h to fire at absolute time t. It is the
+// allocation-free counterpart of At: the handler object carries the
+// callback state, so nothing escapes per event. At and Schedule share
+// one insertion-sequence counter, so their events interleave in exact
+// call order.
+func (e *Engine) Schedule(t Time, h Handler) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, h: h})
+}
+
+// push appends ev and sifts it up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	e.queue = q
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the backing array does not keep the callback (and whatever
+// it captures) alive.
+func (e *Engine) pop() event {
+	q := e.queue
+	root := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{}
+	q = q[:n]
+	e.queue = q
+
+	// Sift last down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if q[j].before(&q[min]) {
+				min = j
+			}
+		}
+		if !q[min].before(&last) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	if n > 0 {
+		q[i] = last
+	}
+	return root
+}
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -79,9 +155,13 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.pop()
 	e.now = ev.at
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.Fire(ev.at)
+	}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/heap"
 	"testing"
 	"testing/quick"
 )
@@ -190,4 +191,149 @@ func TestRandIntnPanicsOnNonPositive(t *testing.T) {
 		}
 	}()
 	NewRand(1).Intn(0)
+}
+
+// refHeap is a container/heap reference implementation of the event
+// queue, kept test-only: the production 4-ary heap must pop in exactly
+// the order this one does for any operation sequence.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// idHandler adapts a func to Handler for tests.
+type idHandler struct{ f func() }
+
+func (h idHandler) Fire(Time) { h.f() }
+
+// TestEngineMatchesContainerHeap drives the engine with a randomized
+// schedule — duplicate times, events scheduling further events while
+// running, a mix of the closure (At) and pooled-handler (Schedule)
+// forms — and asserts the execution order matches a container/heap
+// reference fed the same (time, seq) pairs. Because an engine may never
+// schedule into the past, its execution order must equal the global
+// (time, seq) sort of every event ever scheduled, which is exactly what
+// draining the reference heap at the end yields.
+func TestEngineMatchesContainerHeap(t *testing.T) {
+	rng := NewRand(20260806)
+	for trial := 0; trial < 25; trial++ {
+		var e Engine
+		ref := &refHeap{}
+		var got []int
+		id := 0
+		var seq uint64
+
+		schedule := func(at Time) {
+			id++
+			ev := id
+			seq++
+			heap.Push(ref, refEvent{at: at, seq: seq, id: ev})
+			if ev%2 == 0 {
+				e.At(at, func() { got = append(got, ev) })
+			} else {
+				e.Schedule(at, idHandler{f: func() { got = append(got, ev) }})
+			}
+		}
+
+		for i := 0; i < 300; i++ {
+			schedule(Time(rng.Intn(60)))
+		}
+		extra := 150
+		for e.Step() {
+			// Occasionally schedule more from inside the run, at or
+			// after the current time.
+			for extra > 0 && rng.Intn(3) == 0 {
+				extra--
+				schedule(e.Now() + Time(rng.Intn(25)))
+			}
+		}
+
+		var want []int
+		for ref.Len() > 0 {
+			want = append(want, heap.Pop(ref).(refEvent).id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: engine ran %d events, reference ordered %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop order diverges from container/heap at index %d: got %d, want %d",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEnginePopReleasesSlot pins the fix for the old eventHeap.Pop
+// memory retention: after an event runs, the vacated backing-array slot
+// must not keep the callback alive.
+func TestEnginePopReleasesSlot(t *testing.T) {
+	var e Engine
+	for i := 0; i < 8; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run(0)
+	q := e.queue[:cap(e.queue)]
+	for i := range q {
+		if q[i].fn != nil || q[i].h != nil {
+			t.Fatalf("backing array slot %d retains a callback after pop", i)
+		}
+	}
+}
+
+// TestScheduleHandlerInterleavesWithAt verifies At and Schedule share
+// one insertion-sequence counter: same-time events fire in call order
+// regardless of which form scheduled them.
+func TestScheduleHandlerInterleavesWithAt(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		if i%3 == 0 {
+			e.Schedule(7, idHandler{f: func() { got = append(got, i) }})
+		} else {
+			e.At(7, func() { got = append(got, i) })
+		}
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time At/Schedule events out of call order: %v", got[:i+1])
+		}
+	}
+}
+
+// TestSchedulePanicsOnPastEvent mirrors the At guard for the pooled
+// form.
+func TestSchedulePanicsOnPastEvent(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Schedule in the past did not panic")
+			}
+		}()
+		e.Schedule(5, idHandler{f: func() {}})
+	})
+	e.Run(0)
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+#
+# Benchmark runner for before/after performance records. Runs the macro
+# benchmarks (the full Figure 6 sweep and the raw simulator-throughput
+# workload) for one iteration each and the substrate micro-benchmarks
+# (event queue, block table) at a fixed benchtime, then writes one JSON
+# object per benchmark — ns/op, B/op, allocs/op — to the output file.
+#
+# Usage:
+#   scripts/bench.sh after.json                # current tree
+#   git stash && scripts/bench.sh base.json && git stash pop
+#
+# BENCH_2.json in the repo root pairs this script's output on the PR
+# base with its output after the zero-allocation core rework.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-bench_results.json}"
+
+run() { # pattern package benchtime
+  go test -run '^$' -bench "$1" -benchtime "$3" -benchmem "$2" 2>&1 |
+    grep -E '^Benchmark' || true
+}
+
+{
+  run 'Figure6Serial|SimulatorThroughput' . 1x
+  run 'EngineSchedule' ./internal/sim 2s
+  run 'BlockTable|StdlibMap' ./internal/blockmap 2s
+} | awk '
+BEGIN { print "{"; first = 1 }
+{
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns = "null"; bytes = "null"; allocs = "null"
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns = $(i-1)
+    if ($i == "B/op")      bytes = $(i-1)
+    if ($i == "allocs/op") allocs = $(i-1)
+  }
+  if (!first) printf ",\n"
+  first = 0
+  printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    name, ns, bytes, allocs
+}
+END { print "\n}" }
+' >"$out"
+echo "wrote $out"
