@@ -1,0 +1,126 @@
+// Command benchdelta merges two scripts/bench.sh result files into one
+// benchstat-style before/after record: for every benchmark present in
+// both files it reports the before and after triples (ns/op, B/op,
+// allocs/op) and the percentage deltas; benchmarks present in only one
+// file are carried under "before_only"/"after_only". The merged object
+// is what the repo's BENCH_<n>.json records store.
+//
+// Usage:
+//
+//	benchdelta before.json after.json            # merged JSON on stdout
+//	benchdelta -o BENCH_3.json before.json after.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// metrics is one bench.sh row. Pointers distinguish "absent" from 0
+// (bench.sh writes null when a benchmark reports no -benchmem columns).
+type metrics struct {
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// delta is one merged row.
+type delta struct {
+	Before      metrics `json:"before"`
+	After       metrics `json:"after"`
+	NsDelta     *string `json:"ns_per_op_delta,omitempty"`
+	BytesDelta  *string `json:"bytes_per_op_delta,omitempty"`
+	AllocsDelta *string `json:"allocs_per_op_delta,omitempty"`
+}
+
+func pct(before, after *float64) *string {
+	if before == nil || after == nil || *before == 0 {
+		return nil
+	}
+	s := fmt.Sprintf("%+.1f%%", 100*(*after-*before)/(*before))
+	return &s
+}
+
+func load(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]metrics
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	out := flag.String("o", "", "write merged JSON to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-o merged.json] before.json after.json")
+		os.Exit(2)
+	}
+	before, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	after, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+
+	merged := struct {
+		Benchmarks map[string]delta   `json:"benchmarks"`
+		BeforeOnly map[string]metrics `json:"before_only,omitempty"`
+		AfterOnly  map[string]metrics `json:"after_only,omitempty"`
+	}{Benchmarks: map[string]delta{}}
+	for name, b := range before {
+		a, ok := after[name]
+		if !ok {
+			if merged.BeforeOnly == nil {
+				merged.BeforeOnly = map[string]metrics{}
+			}
+			merged.BeforeOnly[name] = b
+			continue
+		}
+		merged.Benchmarks[name] = delta{
+			Before: b, After: a,
+			NsDelta:     pct(b.NsPerOp, a.NsPerOp),
+			BytesDelta:  pct(b.BytesPerOp, a.BytesPerOp),
+			AllocsDelta: pct(b.AllocsPerOp, a.AllocsPerOp),
+		}
+	}
+	for name, a := range after {
+		if _, ok := before[name]; !ok {
+			if merged.AfterOnly == nil {
+				merged.AfterOnly = map[string]metrics{}
+			}
+			merged.AfterOnly[name] = a
+		}
+	}
+
+	// MarshalIndent sorts map keys, so the record is stable across runs.
+	buf, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks compared", *out, len(merged.Benchmarks))
+	if n := len(merged.BeforeOnly) + len(merged.AfterOnly); n > 0 {
+		fmt.Printf(", %d unpaired", n)
+	}
+	fmt.Println(")")
+}

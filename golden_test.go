@@ -26,6 +26,15 @@ import (
 const (
 	goldenFigure6Digest = "3e762c98b9ba9100cbb0aa75af30ee3db49b04d6ae0c3b4793c26bfca89fc050"
 	goldenTable2Digest  = "5b975542bde90ecc50a748327fdab86567064bcdebfb0825d197bce919659687"
+
+	// Digests of two single-run configurations off the Figure 6 / Table 2
+	// path, pinned before the batched-streaming rework (PR 3) so the
+	// rework is proven byte-identical on them too: a sequential-
+	// consistency run (blocking writes exercise the write-stall path) and
+	// a D-detection stride config (the miss-address detector's stream
+	// table). Both digest every per-node counter of the run.
+	goldenSCDigest   = "6c86aca78c41d816b2c8bc3ac87071a62477ebb4c660343516d16d5be52931bb"
+	goldenDDetDigest = "b6eeb87e27a45de384d30f3ec06c6f2aa86116e62d25fd3b5f68c5dea0d83676"
 )
 
 func goldenOpts() prefetchsim.ExpOptions {
@@ -59,6 +68,46 @@ func TestGoldenFigure6Digest(t *testing.T) {
 	if got := digestLines(lines); got != goldenFigure6Digest {
 		t.Errorf("Figure 6 digest changed: got %s, want %s\nrows:\n%s",
 			got, goldenFigure6Digest, strings.Join(lines, "\n"))
+	}
+}
+
+// digestStats digests every field of a run's statistics — all per-node
+// counters plus the machine-wide traffic — so any divergence anywhere
+// in the simulation shows up.
+func digestStats(st *prefetchsim.Stats) string {
+	var lines []string
+	for i := range st.Nodes {
+		lines = append(lines, fmt.Sprintf("node%d %+v", i, st.Nodes[i]))
+	}
+	lines = append(lines, fmt.Sprintf("machine msgs=%d flits=%d flithops=%d exec=%d",
+		st.NetMessages, st.NetFlits, st.NetFlitHops, st.ExecTime))
+	return digestLines(lines)
+}
+
+func TestGoldenSequentialConsistencyDigest(t *testing.T) {
+	res, err := prefetchsim.Run(prefetchsim.Config{
+		App: "matmul", Scheme: prefetchsim.Seq, Processors: 4, Seed: 12345,
+		SequentialConsistency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := digestStats(res.Stats); got != goldenSCDigest {
+		t.Errorf("sequential-consistency digest changed: got %s, want %s\nstats:\n%s",
+			got, goldenSCDigest, res.Stats)
+	}
+}
+
+func TestGoldenDDetectionDigest(t *testing.T) {
+	res, err := prefetchsim.Run(prefetchsim.Config{
+		App: "matmul", Scheme: prefetchsim.DDet, Processors: 4, Seed: 12345,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := digestStats(res.Stats); got != goldenDDetDigest {
+		t.Errorf("D-detection digest changed: got %s, want %s\nstats:\n%s",
+			got, goldenDDetDigest, res.Stats)
 	}
 }
 

@@ -46,7 +46,11 @@ func DefaultConfig(p workload.Params) Config {
 	return Config{Params: p, N: 200 + 80*(p.Scale-1)}
 }
 
-// New builds the LU program.
+// New builds the LU program. The generator is a resumable state machine
+// (workload.BuildFunc): each outer iteration k is a fixed phase sequence
+// — barrier, pivot divide (owner only), barrier, elimination — whose
+// suspension state is the phase tag plus the loop indices, so no
+// producer goroutine or channel transfer is involved.
 func New(c Config) *trace.Program {
 	if c.N < 4 {
 		panic(fmt.Sprintf("lu: dimension %d too small", c.N))
@@ -57,39 +61,121 @@ func New(c Config) *trace.Program {
 	space := mem.NewSpace()
 	rowBytes := N * workload.WordBytes
 	a := mem.NewArray(space, N, rowBytes, rowBytes) // row-major matrix
-	at := func(i, j int) mem.Addr { return a.At(i, j*workload.WordBytes) }
 
-	return workload.Build(fmt.Sprintf("LU-%dx%d", N, N), P, func(p int, g *workload.Gen) {
-		for k := 0; k < N; k++ {
-			g.Barrier()
-			if k%P == p {
-				// Divide the pivot row by the pivot element.
-				g.Read(pcPivotRead, at(k, k), 4)
-				for j := k + 1; j < N; j++ {
-					g.Read(pcPivotRead, at(k, j), 1)
-					g.Write(pcPivotWrite, at(k, j), 3) // division latency
-				}
+	return workload.BuildFunc(fmt.Sprintf("LU-%dx%d", N, N), P,
+		func(p int) workload.Filler {
+			return &gen{c: c, a: a, p: p}
+		})
+}
+
+// Phases of one outer iteration k.
+const (
+	phBarrier1  uint8 = iota // pre-divide barrier
+	phPivotLead              // owner's read of the pivot element
+	phPivotDiv               // owner's divide loop over row k
+	phBarrier2               // post-divide barrier
+	phEliminate              // elimination sweep over my rows
+	phFinal                  // final barrier after the last iteration
+)
+
+// gen is one processor's generator.
+type gen struct {
+	c     Config
+	a     mem.Array
+	p     int
+	k     int   // outer iteration
+	phase uint8 // position within iteration k
+	i     int   // elimination row
+	j     int   // pivot-divide / elimination column
+	// inRow records that row i's leading L-column read/write pair has
+	// been emitted and the j loop is in progress or complete.
+	inRow bool
+}
+
+func (s *gen) at(i, j int) mem.Addr { return s.a.At(i, j*workload.WordBytes) }
+
+// Fill emits the same program order workload.Build produced before the
+// port; each case resumes exactly where the previous buffer filled up.
+func (s *gen) Fill(g *workload.FuncGen) bool {
+	P, N := s.c.Procs, s.c.N
+	for {
+		switch s.phase {
+		case phBarrier1:
+			if s.k >= N {
+				s.phase = phFinal
+				continue
+			}
+			if !g.Room(1) {
+				return false
 			}
 			g.Barrier()
+			if s.k%P == s.p {
+				s.phase = phPivotLead
+			} else {
+				s.phase = phBarrier2
+			}
+		case phPivotLead:
+			// Divide the pivot row by the pivot element.
+			if !g.Room(1) {
+				return false
+			}
+			g.Read(pcPivotRead, s.at(s.k, s.k), 4)
+			s.j = s.k + 1
+			s.phase = phPivotDiv
+		case phPivotDiv:
+			for ; s.j < N; s.j++ {
+				if !g.Room(2) {
+					return false
+				}
+				g.Read(pcPivotRead, s.at(s.k, s.j), 1)
+				g.Write(pcPivotWrite, s.at(s.k, s.j), 3) // division latency
+			}
+			s.phase = phBarrier2
+		case phBarrier2:
+			if !g.Room(1) {
+				return false
+			}
+			g.Barrier()
+			s.i = s.k + 1
+			s.phase = phEliminate
+		case phEliminate:
 			// Eliminate my rows below the pivot.
-			for i := k + 1; i < N; i++ {
-				if i%P != p {
+			for ; s.i < N; s.i++ {
+				if s.i%P != s.p {
 					continue
 				}
-				g.Read(pcLRead, at(i, k), 2)
-				g.Write(pcLWrite, at(i, k), 4)
+				if !s.inRow {
+					if !g.Room(2) {
+						return false
+					}
+					g.Read(pcLRead, s.at(s.i, s.k), 2)
+					g.Write(pcLWrite, s.at(s.i, s.k), 4)
+					s.inRow = true
+					s.j = s.k + 1
+				}
 				// ~12 instructions per element (two loads, multiply,
 				// add, store, index arithmetic), as the compiled inner
 				// loop of the original would execute.
-				for j := k + 1; j < N; j++ {
-					g.Read(pcSrcRead, at(k, j), 2)
-					g.Read(pcDstRead, at(i, j), 2)
-					g.Write(pcDstWrite, at(i, j), 4)
+				for ; s.j < N; s.j++ {
+					if !g.Room(3) {
+						return false
+					}
+					g.Read(pcSrcRead, s.at(s.k, s.j), 2)
+					g.Read(pcDstRead, s.at(s.i, s.j), 2)
+					g.Write(pcDstWrite, s.at(s.i, s.j), 4)
 				}
+				s.inRow = false
 			}
+			s.k++
+			s.phase = phBarrier1
+		case phFinal:
+			if !g.Room(1) {
+				return false
+			}
+			g.Barrier()
+			return true
 		}
-		g.Barrier()
-	})
+	}
 }
 
 // StrideHints returns the compile-time-known strides of LU's streaming

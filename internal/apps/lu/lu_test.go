@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/mem"
 	"prefetchsim/internal/trace"
 )
 
@@ -40,6 +41,62 @@ func TestStreamsBeginWithBarrier(t *testing.T) {
 	for i, s := range p.Streams {
 		if op := s.Next(); op.Kind != trace.Barrier {
 			t.Fatalf("stream %d starts with %v, want Barrier (iteration fence)", i, op.Kind)
+		}
+	}
+}
+
+// TestMatchesGoroutineOracle pins the state-machine port: the resumable
+// generator must emit, op for op, the sequence the straight-line
+// goroutine body produced before it (kept here as the oracle).
+func TestMatchesGoroutineOracle(t *testing.T) {
+	c := Config{Params: workload.Params{Procs: 3}, N: 24}
+	c.Params = c.Params.Norm()
+	P, N := c.Procs, c.N
+
+	got := New(c)
+	defer got.Stop()
+
+	space := mem.NewSpace()
+	rowBytes := N * workload.WordBytes
+	a := mem.NewArray(space, N, rowBytes, rowBytes)
+	at := func(i, j int) mem.Addr { return a.At(i, j*workload.WordBytes) }
+	oracle := workload.Build("LU-oracle", P, func(p int, g *workload.Gen) {
+		for k := 0; k < N; k++ {
+			g.Barrier()
+			if k%P == p {
+				g.Read(pcPivotRead, at(k, k), 4)
+				for j := k + 1; j < N; j++ {
+					g.Read(pcPivotRead, at(k, j), 1)
+					g.Write(pcPivotWrite, at(k, j), 3)
+				}
+			}
+			g.Barrier()
+			for i := k + 1; i < N; i++ {
+				if i%P != p {
+					continue
+				}
+				g.Read(pcLRead, at(i, k), 2)
+				g.Write(pcLWrite, at(i, k), 4)
+				for j := k + 1; j < N; j++ {
+					g.Read(pcSrcRead, at(k, j), 2)
+					g.Read(pcDstRead, at(i, j), 2)
+					g.Write(pcDstWrite, at(i, j), 4)
+				}
+			}
+		}
+		g.Barrier()
+	})
+	defer oracle.Stop()
+
+	for p := 0; p < P; p++ {
+		for n := 0; ; n++ {
+			want, op := oracle.Streams[p].Next(), got.Streams[p].Next()
+			if op != want {
+				t.Fatalf("stream %d op %d: got %+v, want %+v", p, n, op, want)
+			}
+			if op.Kind == trace.End {
+				break
+			}
 		}
 	}
 }

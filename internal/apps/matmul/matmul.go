@@ -38,6 +38,9 @@ func DefaultConfig(p workload.Params) Config {
 }
 
 // New builds the matmul program. Rows of C are distributed round-robin.
+// The generator is a resumable state machine (workload.BuildFunc): the
+// triple loop nest suspends and resumes on its three indices, so no
+// producer goroutine or channel transfer is involved.
 func New(c Config) *trace.Program {
 	c.Params = c.Params.Norm()
 	if c.L < c.Procs || c.M < 4 || c.N < 4 {
@@ -50,19 +53,53 @@ func New(c Config) *trace.Program {
 	b := mem.NewArray(space, c.N, c.M*w, c.M*w)
 	cm := mem.NewArray(space, c.L, c.M*w, c.M*w)
 
-	return workload.Build(fmt.Sprintf("Matmul-%dx%dx%d", c.L, c.M, c.N), c.Procs,
-		func(p int, g *workload.Gen) {
-			for i := p; i < c.L; i += c.Procs {
-				for j := 0; j < c.M; j++ {
-					g.Read(pcCR, cm.At(i, j*w), 2)
-					for k := 0; k < c.N; k++ {
-						g.Read(pcA, a.At(i, k*w), 2)
-						g.Read(pcB, b.At(k, j*w), 2)
-					}
-					g.Write(pcCW, cm.At(i, j*w), 4)
-				}
-			}
+	return workload.BuildFunc(fmt.Sprintf("Matmul-%dx%dx%d", c.L, c.M, c.N), c.Procs,
+		func(p int) workload.Filler {
+			return &gen{c: c, a: a, b: b, cm: cm, i: p}
 		})
+}
+
+// gen is one processor's generator; the loop indices of the triple nest
+// are its complete suspension state.
+type gen struct {
+	c        Config
+	a, b, cm mem.Array
+	i, j, k  int
+	// inRow records that row (i,j)'s leading C read has been emitted
+	// and the k loop is in progress or complete.
+	inRow bool
+}
+
+// Fill emits, per element (i,j) of this processor's C rows:
+// Read C[i,j]; for each k, Read A[i,k], Read B[k,j]; Write C[i,j] —
+// the same program order workload.Build produced before the port.
+func (s *gen) Fill(g *workload.FuncGen) bool {
+	w := workload.WordBytes
+	for ; s.i < s.c.L; s.i += s.c.Procs {
+		for ; s.j < s.c.M; s.j++ {
+			if !s.inRow {
+				if !g.Room(1) {
+					return false
+				}
+				g.Read(pcCR, s.cm.At(s.i, s.j*w), 2)
+				s.inRow, s.k = true, 0
+			}
+			for ; s.k < s.c.N; s.k++ {
+				if !g.Room(2) {
+					return false
+				}
+				g.Read(pcA, s.a.At(s.i, s.k*w), 2)
+				g.Read(pcB, s.b.At(s.k, s.j*w), 2)
+			}
+			if !g.Room(1) {
+				return false
+			}
+			g.Write(pcCW, s.cm.At(s.i, s.j*w), 4)
+			s.inRow = false
+		}
+		s.j = 0
+	}
+	return true
 }
 
 // StrideHints returns the strides the §3.1 discussion derives by

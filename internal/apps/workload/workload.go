@@ -77,13 +77,84 @@ func (g *Gen) Lock(a mem.Addr) { g.E.Acquire(uint64(a)) }
 func (g *Gen) Unlock(a mem.Addr) { g.E.Release(uint64(a)) }
 
 // Build constructs a Program with procs streams, running body(p, gen)
-// in a producer goroutine per processor.
+// in a producer goroutine per processor. The goroutine hands the
+// machine ops in recycled batchSize runs through one channel transfer
+// per batch (trace.ChanStream); generators whose control flow fits a
+// resumable state machine should use BuildFunc instead and skip the
+// goroutine entirely.
 func Build(name string, procs int, body func(p int, g *Gen)) *trace.Program {
 	prog := &trace.Program{Name: name}
 	for p := 0; p < procs; p++ {
 		p := p
 		prog.Streams = append(prog.Streams, trace.NewChanStream(func(e *trace.Emitter) {
 			body(p, &Gen{E: e})
+		}))
+	}
+	return prog
+}
+
+// FuncGen mirrors Gen for goroutine-free generators: a resumable state
+// machine (Filler) emits through it into the batch buffer handed down
+// by trace.FuncStream, and yields — returns from Fill — whenever Room
+// reports the buffer cannot take the next indivisible run of ops.
+// Barrier numbering persists across resumptions, so the FuncGen
+// outlives any single Fill call.
+type FuncGen struct {
+	buf     []trace.Op
+	n       int
+	barrier uint64
+}
+
+// Room reports whether the buffer can take k more ops. A Filler checks
+// Room before each indivisible emission run and yields when it fails;
+// the next Fill call resumes with a fresh buffer (always at least
+// batch-sized, so any run that fits an empty buffer eventually emits).
+func (g *FuncGen) Room(k int) bool { return g.n+k <= len(g.buf) }
+
+// Read emits one 8-byte load.
+func (g *FuncGen) Read(pc trace.PC, a mem.Addr, gap uint32) {
+	g.buf[g.n] = trace.Op{Kind: trace.Read, PC: pc, Addr: uint64(a), Gap: gap}
+	g.n++
+}
+
+// Write emits one 8-byte store.
+func (g *FuncGen) Write(pc trace.PC, a mem.Addr, gap uint32) {
+	g.buf[g.n] = trace.Op{Kind: trace.Write, PC: pc, Addr: uint64(a), Gap: gap}
+	g.n++
+}
+
+// Barrier emits the next global barrier, auto-numbered like Gen's.
+func (g *FuncGen) Barrier() {
+	g.buf[g.n] = trace.Op{Kind: trace.Barrier, Addr: g.barrier}
+	g.n++
+	g.barrier++
+}
+
+// Filler is a resumable generator: Fill emits operations through g and
+// returns true when the program is complete, or false to yield because
+// the buffer is full. Fill must make progress — emit at least one op —
+// on every call that returns false.
+type Filler interface {
+	Fill(g *FuncGen) bool
+}
+
+// BuildFunc constructs a Program whose streams drive resumable state
+// machines directly: no producer goroutine and no channel transfer (see
+// trace.FuncStream), with op buffers recycled by the consuming machine.
+// mk returns processor p's generator.
+func BuildFunc(name string, procs int, mk func(p int) Filler) *trace.Program {
+	prog := &trace.Program{Name: name}
+	for p := 0; p < procs; p++ {
+		f := mk(p)
+		g := &FuncGen{}
+		done := false
+		prog.Streams = append(prog.Streams, trace.NewFuncStream(func(buf []trace.Op) int {
+			if done {
+				return 0
+			}
+			g.buf, g.n = buf, 0
+			done = f.Fill(g)
+			return g.n
 		}))
 	}
 	return prog

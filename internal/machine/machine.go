@@ -156,10 +156,17 @@ type node struct {
 	pf prefetch.Prefetcher
 
 	stream trace.Stream
-	stash  *trace.Op // op fetched but deferred to honor event ordering
-	time   sim.Time
-	done   bool
-	stepFn func() // cached continuation closure (hot path)
+	// batch is the local run of ops the fetch-execute loop iterates
+	// (refilled via bs when the stream supports batching; bs is nil on
+	// the legacy per-op path and batch then stays empty).
+	bs      trace.BatchStream
+	batch   []trace.Op
+	bi      int
+	stash   trace.Op // op fetched but deferred to honor event ordering
+	stashed bool
+	time    sim.Time
+	done    bool
+	stepFn  func() // cached continuation closure (hot path)
 
 	flc    *cache.FLC
 	flwb   *cache.WriteBuffer
@@ -236,6 +243,9 @@ func New(cfg Config, prog *trace.Program) (*Machine, error) {
 			slc:    store,
 		}
 		n.hist.Reserve(1 << 14)
+		if bs, ok := n.stream.(trace.BatchStream); ok {
+			n.bs = bs
+		}
 		if cfg.NewPrefetcher != nil {
 			n.pf = cfg.NewPrefetcher(i)
 		} else {

@@ -16,20 +16,31 @@ import (
 // causality (an invalidation scheduled for t must be applied before this
 // node reads at t' > t). Blocking operations return from the loop; their
 // completion callbacks reschedule it.
+//
+// The loop has two gears. runBatch executes the longest possible run of
+// purely local ops (FLC read hits, writes performed in an owned SLC
+// line) straight out of the node's current op batch with the causality
+// horizon loaded once — those ops never touch the event queue, so the
+// horizon cannot move under them. The general gear below handles one op
+// at a time through the dispatch switch, re-reading the horizon per op
+// because misses and transactions schedule events.
 func (m *Machine) stepNode(n *node) {
 	if n.done {
 		return
 	}
 	for {
+		if !n.stashed && n.bi < len(n.batch) {
+			m.runBatch(n)
+		}
 		op := n.nextOp()
 		// Apply the think gap, then make sure no pending event (an
 		// invalidation, another node's transaction) is scheduled before
 		// this op would execute; if one is, stash the op and resume at
 		// the op's own time.
 		n.time += sim.Time(op.Gap)
-		if next, ok := m.eng.NextTime(); ok && n.time > next {
+		if n.time > m.eng.Horizon() {
 			op.Gap = 0
-			n.stash = &op
+			n.stash, n.stashed = op, true
 			m.scheduleStep(n)
 			return
 		}
@@ -62,14 +73,97 @@ func (m *Machine) stepNode(n *node) {
 	}
 }
 
-// nextOp returns the stashed op, if any, or the next op in the stream.
+// runBatch is the fused fast path: it consumes a prefix of the node's
+// local op batch consisting of FLC read hits and release-consistency
+// writes that perform locally in a Modified SLC line, without
+// re-entering the dispatch switch per op. Neither kind of op schedules
+// an event, so the engine's horizon — the causality bound — is read
+// once and stays exact for the whole run: the first op at or past a
+// pending event's time (or needing any non-local action) breaks the
+// run and falls back to the general gear, which replays the very same
+// checks one op at a time. The inlined arithmetic below mirrors
+// doRead's hit path and doWrite's owned-line path exactly; the golden
+// digests pin that equivalence.
+func (m *Machine) runBatch(n *node) {
+	horizon := m.eng.Horizon()
+	ops := n.batch
+	i := n.bi
+	t := n.time
+	var reads int64
+	for i < len(ops) {
+		op := &ops[i]
+		at := t + sim.Time(op.Gap)
+		if at > horizon {
+			break
+		}
+		if op.Kind == trace.Read {
+			if !n.flc.Lookup(mem.BlockOf(mem.Addr(op.Addr))) {
+				break
+			}
+			reads++
+			t = at + FLCHit
+		} else if op.Kind == trace.Write && !m.cfg.SequentialConsistency {
+			line, present := n.slc.Lookup(mem.BlockOf(mem.Addr(op.Addr)))
+			if !present || line.State != cache.Modified || line.Prefetched {
+				break
+			}
+			// Exclusive owner: the write drains from the FLWB through
+			// the SLC and performs locally (doWrite's Modified path).
+			n.st.Writes++
+			admit := n.flwb.AdmitAt(at)
+			if admit > at {
+				n.st.WriteStall += admit - at
+			}
+			t = admit + 1
+			slcStart := n.slcRes.Acquire(admit+1, SLCCycle)
+			n.flwb.Add(slcStart + SLCCycle)
+		} else {
+			break
+		}
+		i++
+	}
+	n.st.Reads += reads
+	n.st.FLCReadHits += reads
+	n.bi = i
+	n.time = t
+}
+
+// nextOp returns the stashed op, if any, the next op of the local
+// batch, or — at a batch boundary — the first op of a freshly fetched
+// batch.
 func (n *node) nextOp() trace.Op {
-	if n.stash != nil {
-		op := *n.stash
-		n.stash = nil
+	if n.stashed {
+		n.stashed = false
+		return n.stash
+	}
+	if n.bi < len(n.batch) {
+		op := n.batch[n.bi]
+		n.bi++
 		return op
 	}
-	return n.stream.Next()
+	return n.refill()
+}
+
+// refill fetches the node's next run of operations. Batched streams
+// hand over a whole slice (the drained one is recycled to the
+// producer's free list first); legacy per-op streams fall back to one
+// interface call per op. A nil batch means the stream is exhausted and
+// End is synthesized, matching Stream.Next's contract.
+func (n *node) refill() trace.Op {
+	if n.bs == nil {
+		return n.stream.Next()
+	}
+	if n.batch != nil {
+		n.bs.Recycle(n.batch)
+		n.batch = nil
+	}
+	batch := n.bs.NextBatch()
+	if len(batch) == 0 {
+		n.bi = 0
+		return trace.Op{Kind: trace.End}
+	}
+	n.batch, n.bi = batch, 1
+	return batch[0]
 }
 
 // doRead executes one load. It returns true if the processor can

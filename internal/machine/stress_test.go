@@ -8,6 +8,7 @@ import (
 	"prefetchsim/internal/coherence"
 	"prefetchsim/internal/mem"
 	"prefetchsim/internal/prefetch"
+	"prefetchsim/internal/racecheck"
 	"prefetchsim/internal/sim"
 	"prefetchsim/internal/trace"
 )
@@ -154,6 +155,12 @@ func checkInvariants(t *testing.T, m *Machine, label string) {
 	}
 }
 
+// StressSeeds is the per-configuration seed count of the protocol
+// stress sweep, scaled down under the race detector; the repo-level
+// race suite asserts the same racecheck.Scale(6, 2) expression yields
+// the reduced count when -race is compiled in.
+var StressSeeds = uint64(racecheck.Scale(6, 2))
+
 func stressConfig(procs, slc int, pf func(int) prefetch.Prefetcher) Config {
 	cfg := DefaultConfig()
 	cfg.Processors = procs
@@ -175,10 +182,13 @@ func TestProtocolStress(t *testing.T) {
 		"adaptive": func(int) prefetch.Prefetcher { return prefetch.NewAdaptive(2) },
 	}
 	// Tiny SLC (128 blocks) maximizes replacement/writeback traffic on
-	// the hot set; infinite exercises the pure coherence paths.
+	// the hot set; infinite exercises the pure coherence paths. Under
+	// the race detector the seed sweep shrinks (see StressSeeds) to keep
+	// the package inside the single-core 10-minute test timeout; the
+	// interleaving coverage -race needs does not grow with seeds.
 	for _, slc := range []int{0, 4096} {
 		for name, pf := range prefetchers {
-			for seed := uint64(1); seed <= 6; seed++ {
+			for seed := uint64(1); seed <= StressSeeds; seed++ {
 				label := fmt.Sprintf("slc=%d/%s/seed=%d", slc, name, seed)
 				prog := alignedRandomProgram(seed, 8, 600)
 				m, err := New(stressConfig(8, slc, pf), prog)

@@ -1,0 +1,22 @@
+package network
+
+import (
+	"testing"
+
+	"prefetchsim/internal/sim"
+)
+
+// BenchmarkMeshSend measures the wormhole model's per-message cost on a
+// 4x4 mesh — the price every coherence transaction pays twice or more.
+// The destination walk (4i+1 mod 16 is odd-offset, so never the source)
+// covers all path lengths, and chaining each arrival into the next
+// departure keeps link occupancy realistic. The steady state must not
+// allocate.
+func BenchmarkMeshSend(b *testing.B) {
+	b.ReportAllocs()
+	m := New(16)
+	var t sim.Time
+	for i := 0; i < b.N; i++ {
+		t = m.Send(ReqPlane, i%16, (i*5+1)%16, DataFlits, t)
+	}
+}

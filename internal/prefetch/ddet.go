@@ -61,7 +61,17 @@ func NewDDetection(tableSize, threshold, d int) *DDetection {
 	if tableSize < 1 || threshold < 1 || d < 1 {
 		panic("prefetch: D-detection parameters must be positive")
 	}
-	return &DDetection{degree: d, threshold: threshold, maxList: tableSize}
+	return &DDetection{
+		degree: d, threshold: threshold, maxList: tableSize,
+		// The four LRU tables live at full capacity for the whole run;
+		// move-to-front and front-insertion shift entries in place, so
+		// after warm-up the detector never allocates (it sits on every
+		// read miss of the hot loop).
+		missList: make([]mem.Block, 0, tableSize),
+		freq:     make([]freqEntry, 0, tableSize),
+		common:   make([]int64, 0, tableSize),
+		streams:  make([]streamEntry, 0, tableSize),
+	}
 }
 
 // NewDefaultDDetection returns the paper's configuration: 16-entry
@@ -181,11 +191,20 @@ func (p *DDetection) insertStream(b mem.Block, stride int64) {
 			return
 		}
 	}
-	st := streamEntry{next: next, stride: stride}
-	p.streams = append([]streamEntry{st}, p.streams...)
-	if len(p.streams) > p.maxList {
-		p.streams = p.streams[:p.maxList]
+	p.streams = pushFront(p.streams, streamEntry{next: next, stride: stride}, p.maxList)
+}
+
+// pushFront inserts e at the front of an LRU list bounded to max
+// entries, shifting the rest down in place and evicting the tail when
+// full. The list never reallocates once it has grown to max (the
+// constructor reserves the capacity).
+func pushFront[E any](list []E, e E, max int) []E {
+	if len(list) < max {
+		list = append(list, e)
 	}
+	copy(list[1:], list)
+	list[0] = e
+	return list
 }
 
 func (p *DDetection) touchStream(i int) {
@@ -198,10 +217,7 @@ func (p *DDetection) touchStream(i int) {
 }
 
 func (p *DDetection) pushMiss(b mem.Block) {
-	p.missList = append([]mem.Block{b}, p.missList...)
-	if len(p.missList) > p.maxList {
-		p.missList = p.missList[:p.maxList]
-	}
+	p.missList = pushFront(p.missList, b, p.maxList)
 }
 
 func (p *DDetection) isCommon(s int64) bool {
@@ -229,10 +245,7 @@ func (p *DDetection) bumpFreq(s int64) int {
 			return e.count
 		}
 	}
-	p.freq = append([]freqEntry{{stride: s, count: 1}}, p.freq...)
-	if len(p.freq) > p.maxList {
-		p.freq = p.freq[:p.maxList]
-	}
+	p.freq = pushFront(p.freq, freqEntry{stride: s, count: 1}, p.maxList)
 	return 1
 }
 
@@ -245,8 +258,5 @@ func (p *DDetection) promote(s int64) {
 			break
 		}
 	}
-	p.common = append([]int64{s}, p.common...)
-	if len(p.common) > p.maxList {
-		p.common = p.common[:p.maxList]
-	}
+	p.common = pushFront(p.common, s, p.maxList)
 }

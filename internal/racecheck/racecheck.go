@@ -1,0 +1,17 @@
+// Package racecheck lets tests know whether the Go race detector is
+// compiled in, and scale their stress workloads accordingly. The race
+// detector costs roughly 5-10x in time and memory; on the single-core
+// CI container that pushes full-size stress suites past the 10-minute
+// per-package test timeout, so the heavy loops run a reduced iteration
+// count under -race (the interleavings the detector needs show up in
+// far fewer iterations than the determinism soak needs without it).
+package racecheck
+
+// Scale returns full iterations normally and raced iterations when the
+// race detector is enabled.
+func Scale(full, raced int) int {
+	if Enabled {
+		return raced
+	}
+	return full
+}

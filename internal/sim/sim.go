@@ -43,12 +43,21 @@ func (a *event) before(b *event) bool {
 	return a.seq < b.seq
 }
 
+// maxTime is the far-future sentinel Horizon returns for an empty
+// queue: no pending event can bound a component's local progress.
+const maxTime = Time(1<<63 - 1)
+
 // Engine is a deterministic event-driven simulator. The zero value is
 // ready to use.
 type Engine struct {
 	queue []event // 4-ary min-heap
 	now   Time
 	seq   uint64
+	// horizon caches queue[0].at, maintained on every push and pop, so
+	// the per-op causality check in the processor's fused hot loop is a
+	// plain field read instead of a heap peek. Only meaningful while the
+	// queue is non-empty.
+	horizon Time
 }
 
 // Now returns the current simulated time.
@@ -82,6 +91,9 @@ func (e *Engine) Schedule(t Time, h Handler) {
 
 // push appends ev and sifts it up the 4-ary heap.
 func (e *Engine) push(ev event) {
+	if len(e.queue) == 0 || ev.at < e.horizon {
+		e.horizon = ev.at
+	}
 	q := append(e.queue, ev)
 	i := len(q) - 1
 	for i > 0 {
@@ -133,6 +145,7 @@ func (e *Engine) pop() event {
 	}
 	if n > 0 {
 		q[i] = last
+		e.horizon = q[0].at
 	}
 	return root
 }
@@ -147,7 +160,22 @@ func (e *Engine) NextTime() (Time, bool) {
 	if len(e.queue) == 0 {
 		return 0, false
 	}
-	return e.queue[0].at, true
+	return e.horizon, true
+}
+
+// Horizon is the branch-light form of NextTime for hot loops: the time
+// of the earliest pending event, or a far-future sentinel when none is
+// pending. A component may batch-advance its local clock up to and
+// including this time without violating causality — an event scheduled
+// AT the horizon (e.g. a pending invalidation) still fires before any
+// local op strictly after it. The value is maintained on schedule and
+// fire, so within one event callback it can be read once and reused for
+// a whole run of ops as long as the callback schedules nothing.
+func (e *Engine) Horizon() Time {
+	if len(e.queue) == 0 {
+		return maxTime
+	}
+	return e.horizon
 }
 
 // Step runs the earliest event. It reports whether an event ran.

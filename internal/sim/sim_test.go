@@ -337,3 +337,60 @@ func TestSchedulePanicsOnPastEvent(t *testing.T) {
 	})
 	e.Run(0)
 }
+
+// TestEngineHorizonTracksQueueMin drives a random schedule/fire
+// sequence and asserts the cached horizon equals the true queue minimum
+// after every mutation — the invariant the machine's fused batch loop
+// relies on instead of peeking the heap per op — and that an empty
+// queue reports the far-future sentinel.
+func TestEngineHorizonTracksQueueMin(t *testing.T) {
+	queueMin := func(e *Engine) Time {
+		min := maxTime
+		for i := range e.queue {
+			if e.queue[i].at < min {
+				min = e.queue[i].at
+			}
+		}
+		return min
+	}
+	check := func(e *Engine, step string) {
+		t.Helper()
+		if len(e.queue) == 0 {
+			if e.Horizon() != maxTime {
+				t.Fatalf("%s: empty queue, Horizon = %d, want maxTime", step, e.Horizon())
+			}
+			if _, ok := e.NextTime(); ok {
+				t.Fatalf("%s: empty queue, NextTime reports an event", step)
+			}
+			return
+		}
+		want := queueMin(e)
+		if e.Horizon() != want {
+			t.Fatalf("%s: Horizon = %d, queue min = %d", step, e.Horizon(), want)
+		}
+		if next, ok := e.NextTime(); !ok || next != want {
+			t.Fatalf("%s: NextTime = (%d, %v), queue min = %d", step, next, ok, want)
+		}
+	}
+
+	rng := NewRand(42)
+	for trial := 0; trial < 20; trial++ {
+		var e Engine
+		check(&e, "fresh engine")
+		for i := 0; i < 400; i++ {
+			switch {
+			case len(e.queue) == 0 || rng.Intn(3) > 0:
+				at := e.Now() + Time(rng.Intn(50))
+				e.At(at, func() {})
+				check(&e, "after schedule")
+			default:
+				e.Step()
+				check(&e, "after fire")
+			}
+		}
+		for e.Step() {
+			check(&e, "while draining")
+		}
+		check(&e, "drained")
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+// Tests for the BatchStream contract (PR 3): batch delivery order, the
+// nil-is-End convention, Next/NextBatch mixing, and — the part a unit
+// test must pin because no correctness symptom would reveal it — that
+// Recycle actually returns buffers to the producer for reuse instead of
+// leaking one allocation per batch.
+
+import (
+	"testing"
+
+	"prefetchsim/internal/racecheck"
+)
+
+// drainBatched pulls a stream dry through NextBatch+Recycle, returning
+// the ops in order and the number of distinct backing arrays seen.
+func drainBatched(t *testing.T, s BatchStream, limit int) ([]Op, int) {
+	t.Helper()
+	var ops []Op
+	backing := make(map[*Op]bool)
+	for n := 0; ; n++ {
+		if n > limit {
+			t.Fatalf("stream did not end within %d batches", limit)
+		}
+		batch := s.NextBatch()
+		if batch == nil {
+			return ops, len(backing)
+		}
+		if len(batch) == 0 {
+			t.Fatal("NextBatch returned an empty non-nil batch")
+		}
+		backing[&batch[:1][0]] = true
+		ops = append(ops, batch...)
+		s.Recycle(batch)
+	}
+}
+
+func TestSliceStreamNextBatch(t *testing.T) {
+	ops := []Op{{Kind: Read, Addr: 1}, {Kind: Write, Addr: 2}}
+	s := NewSliceStream(ops)
+	got, _ := drainBatched(t, s, 4)
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+	if s.NextBatch() != nil {
+		t.Fatal("exhausted NextBatch not nil")
+	}
+	if op := s.Next(); op.Kind != End {
+		t.Fatal("exhausted Next not End")
+	}
+}
+
+func TestSliceStreamMixedNextAndBatch(t *testing.T) {
+	ops := []Op{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	s := NewSliceStream(ops)
+	if op := s.Next(); op.Addr != 1 {
+		t.Fatalf("Next = %+v", op)
+	}
+	batch := s.NextBatch()
+	if len(batch) != 2 || batch[0].Addr != 2 || batch[1].Addr != 3 {
+		t.Fatalf("NextBatch after Next = %+v", batch)
+	}
+}
+
+func TestChanStreamNextBatchDeliversAllOpsInOrder(t *testing.T) {
+	const n = 10*batchSize/3 + 17 // several batches plus a partial tail
+	s := NewChanStream(func(e *Emitter) {
+		for i := 0; i < n; i++ {
+			e.Read(PC(i%7), uint64(i*32), uint32(i%3))
+		}
+	})
+	got, _ := drainBatched(t, s, n)
+	// The producer appends the terminating End op explicitly.
+	if len(got) != n+1 {
+		t.Fatalf("got %d ops, want %d", len(got), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if got[i].Kind != Read || got[i].Addr != uint64(i*32) || got[i].PC != PC(i%7) {
+			t.Fatalf("op %d = %+v", i, got[i])
+		}
+	}
+	if got[n].Kind != End {
+		t.Fatalf("final op = %+v, want End", got[n])
+	}
+	if s.NextBatch() != nil {
+		t.Fatal("exhausted NextBatch not nil")
+	}
+}
+
+func TestChanStreamMixedNextAndBatchPreservesOrder(t *testing.T) {
+	const n = 2*batchSize + 100
+	s := NewChanStream(func(e *Emitter) {
+		for i := 0; i < n; i++ {
+			e.Emit(Op{Kind: Write, Addr: uint64(i)})
+		}
+	})
+	want := uint64(0)
+	// Nibble a few ops per-op, then take a batch, and repeat: every op
+	// must still arrive exactly once, in order.
+	for {
+		for k := 0; k < 3; k++ {
+			op := s.Next()
+			if op.Kind == End {
+				if want != n {
+					t.Fatalf("ended after %d ops, want %d", want, n)
+				}
+				return
+			}
+			if op.Addr != want {
+				t.Fatalf("Next op addr = %d, want %d", op.Addr, want)
+			}
+			want++
+		}
+		batch := s.NextBatch()
+		if batch == nil {
+			if want != n {
+				t.Fatalf("ended after %d ops, want %d", want, n)
+			}
+			return
+		}
+		for _, op := range batch {
+			if op.Kind == End {
+				if want != n {
+					t.Fatalf("ended after %d ops, want %d", want, n)
+				}
+				return
+			}
+			if op.Addr != want {
+				t.Fatalf("batched op addr = %d, want %d", op.Addr, want)
+			}
+			want++
+		}
+		s.Recycle(batch)
+	}
+}
+
+// TestChanStreamRecyclingReusesBatches is the producer/consumer test
+// for the free list: a consumer that recycles every drained batch must
+// bound the number of op buffers the producer ever allocates to the
+// pipeline depth, regardless of how many batches flow. Without the free
+// list this stream would use one fresh backing array per batch.
+func TestChanStreamRecyclingReusesBatches(t *testing.T) {
+	batches := racecheck.Scale(400, 50)
+	n := batches * batchSize
+	s := NewChanStream(func(e *Emitter) {
+		for i := 0; i < n; i++ {
+			e.Emit(Op{Kind: Write, Addr: uint64(i)})
+		}
+	})
+	got, distinct := drainBatched(t, s, batches+2)
+	if len(got) != n+1 {
+		t.Fatalf("got %d ops, want %d", len(got), n+1)
+	}
+	// The pipeline holds at most the producer's working buffer, the
+	// in-flight channel slots, the consumer's batch, and the free list;
+	// allow slack for buffers allocated while the pipeline primes.
+	if limit := 2 * (chanDepth + 2); distinct > limit {
+		t.Errorf("%d batches used %d distinct buffers, want <= %d (recycling broken?)",
+			batches, distinct, limit)
+	}
+}
+
+// TestFuncStreamDeliversAndRecycles exercises the goroutine-free
+// generator adapter: order, the partial final batch, nil-is-End, and
+// single-buffer steady state when the consumer recycles.
+func TestFuncStreamDeliversAndRecycles(t *testing.T) {
+	const n = 5*batchSize + 123
+	i := 0
+	fill := func(buf []Op) int {
+		k := 0
+		for ; k < len(buf) && i < n; k++ {
+			buf[k] = Op{Kind: Read, Addr: uint64(i)}
+			i++
+		}
+		return k
+	}
+	s := NewFuncStream(fill)
+	got, distinct := drainBatched(t, s, n)
+	if len(got) != n {
+		t.Fatalf("got %d ops, want %d", len(got), n)
+	}
+	for j, op := range got {
+		if op.Addr != uint64(j) {
+			t.Fatalf("op %d addr = %d", j, op.Addr)
+		}
+	}
+	if distinct != 1 {
+		t.Errorf("recycling consumer used %d buffers, want 1", distinct)
+	}
+	if s.NextBatch() != nil || s.Next().Kind != End {
+		t.Fatal("exhausted FuncStream must return nil batches and End ops")
+	}
+}
+
+func TestFuncStreamPerOpPath(t *testing.T) {
+	const n = batchSize + 7
+	i := 0
+	s := NewFuncStream(func(buf []Op) int {
+		k := 0
+		for ; k < len(buf) && i < n; k++ {
+			buf[k] = Op{Kind: Write, Addr: uint64(i)}
+			i++
+		}
+		return k
+	})
+	for j := 0; j < n; j++ {
+		if op := s.Next(); op.Addr != uint64(j) || op.Kind != Write {
+			t.Fatalf("op %d = %+v", j, op)
+		}
+	}
+	if op := s.Next(); op.Kind != End {
+		t.Fatalf("exhausted Next = %v, want End", op.Kind)
+	}
+	if op := s.Next(); op.Kind != End {
+		t.Fatal("End is not sticky")
+	}
+}
+
+// TestPerOpHidesBatchInterface pins the differential-testing lever: a
+// PerOp-wrapped stream must not satisfy BatchStream (that is its whole
+// point), while still forwarding Next and Stop.
+func TestPerOpHidesBatchInterface(t *testing.T) {
+	var s Stream = PerOp{S: NewSliceStream([]Op{{Kind: Read, Addr: 9}})}
+	if _, ok := s.(BatchStream); ok {
+		t.Fatal("PerOp leaks the BatchStream interface")
+	}
+	if op := s.Next(); op.Kind != Read || op.Addr != 9 {
+		t.Fatalf("PerOp.Next = %+v", op)
+	}
+	stopped := false
+	p := PerOp{S: &stopStream{onStop: func() { stopped = true }}}
+	p.Stop()
+	if !stopped {
+		t.Fatal("PerOp.Stop did not forward")
+	}
+}
+
+type stopStream struct{ onStop func() }
+
+func (s *stopStream) Next() Op { return Op{Kind: End} }
+func (s *stopStream) Stop()    { s.onStop() }
+
+// BenchmarkStreamNext compares the per-op and batched consumption paths
+// over the same producer-goroutine stream, and the goroutine-free
+// FuncStream; the batched variants recycle, so steady state is
+// allocation-free.
+func BenchmarkStreamNext(b *testing.B) {
+	produce := func(n int) func(*Emitter) {
+		return func(e *Emitter) {
+			for i := 0; i < n; i++ {
+				e.Read(1, uint64(i)<<5, 2)
+			}
+		}
+	}
+	fill := func(n int) func([]Op) int {
+		i := 0
+		return func(buf []Op) int {
+			k := 0
+			for ; k < len(buf) && i < n; k++ {
+				buf[k] = Op{Kind: Read, PC: 1, Addr: uint64(i) << 5, Gap: 2}
+				i++
+			}
+			return k
+		}
+	}
+	b.Run("chan", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewChanStream(produce(b.N))
+		for i := 0; i < b.N; i++ {
+			if op := s.Next(); op.Kind == End {
+				b.Fatal("stream ended early")
+			}
+		}
+		s.Stop()
+	})
+	b.Run("chan-batched", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewChanStream(produce(b.N))
+		got := 0
+		for got < b.N {
+			batch := s.NextBatch()
+			if batch == nil {
+				b.Fatal("stream ended early")
+			}
+			got += len(batch)
+			s.Recycle(batch)
+		}
+		s.Stop()
+	})
+	b.Run("func-batched", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewFuncStream(fill(b.N))
+		got := 0
+		for got < b.N {
+			batch := s.NextBatch()
+			if batch == nil {
+				b.Fatal("stream ended early")
+			}
+			got += len(batch)
+			s.Recycle(batch)
+		}
+	})
+}

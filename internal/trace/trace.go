@@ -67,6 +67,32 @@ type Stream interface {
 	Next() Op
 }
 
+// BatchStream is the batched extension of Stream: instead of one
+// interface call per operation, the consumer takes ownership of whole
+// runs of ops at a time. The machine's processor loop iterates a batch
+// as a plain local slice, which is what makes its fused fast path
+// possible (see internal/machine/processor.go).
+//
+// Contract: NextBatch never returns an empty non-nil batch; it returns
+// nil once the stream is exhausted. A batch may carry an explicit final
+// End op (producer-backed streams) or the stream may simply stop
+// (replay streams) — consumers must treat nil as End. A consumer that
+// mixes Next and NextBatch sees every op exactly once, in program
+// order, provided it consumes each batch fully before pulling again.
+type BatchStream interface {
+	Stream
+	// NextBatch returns the next run of operations in program order, or
+	// nil when the stream is exhausted. The caller owns the slice until
+	// it hands it back through Recycle.
+	NextBatch() []Op
+	// Recycle returns a fully consumed batch to the stream's free list
+	// so its memory can back a future batch. The caller must not touch
+	// the slice afterwards. Recycling is optional — streams without a
+	// free list treat it as a no-op — but it is what keeps a
+	// multi-million-reference program at a handful of live buffers.
+	Recycle([]Op)
+}
+
 // SliceStream replays a fixed slice of operations; the final op need not
 // be End (one is synthesized). Used heavily in tests.
 type SliceStream struct {
@@ -87,17 +113,41 @@ func (s *SliceStream) Next() Op {
 	return op
 }
 
-// batchSize is the number of ops moved per channel transfer in ChanStream.
-// Large enough to amortize channel overhead to well under a nanosecond
-// per op, small enough to keep per-processor buffering tiny.
+// NextBatch implements BatchStream: the whole remaining slice in one
+// handoff (no End op; the consumer synthesizes it on nil).
+func (s *SliceStream) NextBatch() []Op {
+	if s.i >= len(s.ops) {
+		return nil
+	}
+	b := s.ops[s.i:]
+	s.i = len(s.ops)
+	return b
+}
+
+// Recycle implements BatchStream. The batch aliases the caller-provided
+// op slice, which replay must not overwrite, so nothing is reused.
+func (s *SliceStream) Recycle([]Op) {}
+
+// batchSize is the number of ops per batch: one channel transfer in
+// ChanStream, one generator resumption in FuncStream. Large enough to
+// amortize the per-batch handoff to well under a nanosecond per op,
+// small enough to keep per-processor buffering tiny.
 const batchSize = 1024
 
-// ChanStream adapts a producer goroutine to the Stream interface. The
+// chanDepth bounds the batches buffered between producer and consumer.
+const chanDepth = 4
+
+// ChanStream adapts a producer goroutine to the stream interfaces. The
 // producer writes ops through an Emitter; the consumer pulls them with
-// Next. Production is lazy and bounded (a few batches in flight), so a
-// multi-million-reference program never materializes in memory.
+// Next or, preferably, whole batches at a time with NextBatch — one
+// channel transfer per batchSize ops. Production is lazy and bounded (a
+// few batches in flight), so a multi-million-reference program never
+// materializes in memory, and batches Recycled by the consumer flow
+// back to the producer on a free list, so the steady state circulates a
+// fixed set of op buffers instead of allocating one per batch.
 type ChanStream struct {
 	ch   chan []Op
+	free chan []Op
 	quit chan struct{}
 	cur  []Op
 	i    int
@@ -107,6 +157,7 @@ type ChanStream struct {
 // Emitter is the producer side of a ChanStream.
 type Emitter struct {
 	ch   chan []Op
+	free chan []Op
 	quit chan struct{}
 	buf  []Op
 }
@@ -117,10 +168,13 @@ type Emitter struct {
 // emission fails because the consumer called Stop.
 func NewChanStream(produce func(*Emitter)) *ChanStream {
 	s := &ChanStream{
-		ch:   make(chan []Op, 4),
+		ch: make(chan []Op, chanDepth),
+		// One slot per in-flight batch plus the producer's and the
+		// consumer's working buffers; Recycle never blocks on it.
+		free: make(chan []Op, chanDepth+2),
 		quit: make(chan struct{}),
 	}
-	e := &Emitter{ch: s.ch, quit: s.quit, buf: make([]Op, 0, batchSize)}
+	e := &Emitter{ch: s.ch, free: s.free, quit: s.quit, buf: make([]Op, 0, batchSize)}
 	go func() {
 		defer close(s.ch)
 		defer func() {
@@ -177,11 +231,20 @@ func (e *Emitter) flush() {
 		return
 	}
 	batch := e.buf
-	e.buf = make([]Op, 0, batchSize)
 	select {
 	case e.ch <- batch:
 	case <-e.quit:
 		panic(emitStopped)
+	}
+	// Refill from the free list — a batch the consumer has fully
+	// drained and recycled — falling back to a fresh allocation only
+	// while the pipeline is still priming (or when the consumer does
+	// not recycle, as the per-op legacy path does not).
+	select {
+	case b := <-e.free:
+		e.buf = b
+	default:
+		e.buf = make([]Op, 0, batchSize)
 	}
 }
 
@@ -206,6 +269,43 @@ func (s *ChanStream) Next() Op {
 	return op
 }
 
+// NextBatch implements BatchStream: one channel receive hands the
+// consumer a whole producer batch. Any ops already buffered for Next
+// are delivered first, so mixing the two interfaces preserves program
+// order.
+func (s *ChanStream) NextBatch() []Op {
+	if s.i < len(s.cur) {
+		b := s.cur[s.i:]
+		s.cur, s.i = nil, 0
+		return b
+	}
+	if s.done {
+		return nil
+	}
+	batch, ok := <-s.ch
+	if !ok {
+		s.done = true
+		return nil
+	}
+	return batch
+}
+
+// Recycle implements BatchStream, routing the drained batch back to the
+// producer goroutine. The channel handoff is the synchronization: the
+// producer only writes into the buffer after receiving it, so the
+// consumer must genuinely be done with it. Partial views (a batch
+// already nibbled by Next) are dropped — only full-capacity buffers are
+// worth reusing.
+func (s *ChanStream) Recycle(batch []Op) {
+	if cap(batch) < batchSize {
+		return
+	}
+	select {
+	case s.free <- batch[:0]:
+	default: // free list full; let the GC have it
+	}
+}
+
 // Stop releases the producer goroutine without draining the stream. Safe
 // to call multiple times and after the stream has ended.
 func (s *ChanStream) Stop() {
@@ -220,6 +320,99 @@ func (s *ChanStream) Stop() {
 	s.done = true
 }
 
+// FuncStream adapts a resumable generator — a state machine whose fill
+// function writes the next run of operations into a caller-provided
+// buffer and returns how many it wrote (0 = program complete) — to the
+// stream interfaces. Unlike ChanStream there is no producer goroutine
+// and no channel transfer at all: the consumer's refill calls drive the
+// generator directly, and recycled buffers are handed straight back to
+// it. Generators whose control flow can be captured in a few loop
+// counters (see internal/apps/matmul) use this form.
+type FuncStream struct {
+	fill func([]Op) int
+	free [][]Op
+	cur  []Op
+	i    int
+	done bool
+}
+
+// NewFuncStream returns a stream over the generator fill.
+func NewFuncStream(fill func([]Op) int) *FuncStream {
+	return &FuncStream{fill: fill}
+}
+
+// fetch produces the next batch by running the generator into a free
+// (or fresh) buffer.
+func (s *FuncStream) fetch() []Op {
+	if s.done {
+		return nil
+	}
+	var buf []Op
+	if n := len(s.free); n > 0 {
+		buf, s.free = s.free[n-1], s.free[:n-1]
+	} else {
+		buf = make([]Op, batchSize)
+	}
+	n := s.fill(buf)
+	if n == 0 {
+		s.done = true
+		return nil
+	}
+	return buf[:n]
+}
+
+// NextBatch implements BatchStream.
+func (s *FuncStream) NextBatch() []Op {
+	if s.i < len(s.cur) {
+		b := s.cur[s.i:]
+		s.cur, s.i = nil, 0
+		return b
+	}
+	return s.fetch()
+}
+
+// Recycle implements BatchStream: the buffer backs a future fill call.
+func (s *FuncStream) Recycle(batch []Op) {
+	if cap(batch) >= batchSize {
+		s.free = append(s.free, batch[:batchSize:batchSize])
+	}
+}
+
+// Next implements Stream.
+func (s *FuncStream) Next() Op {
+	for s.i >= len(s.cur) {
+		if old := s.cur; old != nil {
+			s.cur = nil
+			s.Recycle(old)
+		}
+		batch := s.fetch()
+		if batch == nil {
+			return Op{Kind: End}
+		}
+		s.cur, s.i = batch, 0
+	}
+	op := s.cur[s.i]
+	s.i++
+	return op
+}
+
+// PerOp wraps a stream so that only the per-op Stream interface is
+// visible, forcing consumers that would otherwise batch onto the legacy
+// one-interface-call-per-op path. It exists for differential testing:
+// the machine's batched fast path must be byte-identical to this
+// reference path (see the repo-level equivalence test).
+type PerOp struct{ S Stream }
+
+// Next implements Stream.
+func (p PerOp) Next() Op { return p.S.Next() }
+
+// Stop forwards to the underlying stream's Stop, if it has one.
+func (p PerOp) Stop() {
+	if st, ok := p.S.(interface{ Stop() }); ok {
+		st.Stop()
+	}
+}
+
 // Program is a complete multiprocessor workload: one stream per
 // processor plus a human-readable name.
 type Program struct {
@@ -230,8 +423,8 @@ type Program struct {
 // Stop releases any producer goroutines behind the program's streams.
 func (p *Program) Stop() {
 	for _, s := range p.Streams {
-		if cs, ok := s.(*ChanStream); ok {
-			cs.Stop()
+		if st, ok := s.(interface{ Stop() }); ok {
+			st.Stop()
 		}
 	}
 }

@@ -4,4 +4,23 @@ package prefetchsim_test
 
 // raceEnabled reports whether the race detector is compiled into the
 // test binary; see race_enabled_test.go.
+
+import (
+	"testing"
+
+	"prefetchsim/internal/racecheck"
+)
+
 const raceEnabled = false
+
+// TestStressIterationsFullWithoutRace is the counterpart of the -race
+// scaling assertion: the uninstrumented suite must run the full
+// iteration counts.
+func TestStressIterationsFullWithoutRace(t *testing.T) {
+	if racecheck.Enabled {
+		t.Fatal("built without -race but racecheck.Enabled is true")
+	}
+	if got := racecheck.Scale(6, 2); got != 6 {
+		t.Fatalf("Scale(6, 2) = %d without race, want the full count 6", got)
+	}
+}

@@ -7,4 +7,30 @@ package prefetchsim_test
 // equivalence tests trim their application set to stay inside go
 // test's default 10-minute package timeout; the full six-application
 // sweep runs in the uninstrumented suite.
+
+import (
+	"testing"
+
+	"prefetchsim/internal/racecheck"
+)
+
 const raceEnabled = true
+
+// TestStressIterationsScaleDownUnderRace pins the race-budget contract:
+// when -race is compiled in, racecheck must report it and Scale must
+// pick the reduced iteration counts the stress suites pass it (the
+// protocol stress sweep runs Scale(6, 2) seeds per configuration, the
+// trace recycling test Scale(400, 50) batches). Without this scaling
+// the machine package alone overruns the single-core 10-minute
+// per-package timeout.
+func TestStressIterationsScaleDownUnderRace(t *testing.T) {
+	if !racecheck.Enabled {
+		t.Fatal("built with -race but racecheck.Enabled is false")
+	}
+	if got := racecheck.Scale(6, 2); got != 2 {
+		t.Fatalf("Scale(6, 2) = %d under race, want the reduced count 2", got)
+	}
+	if got := racecheck.Scale(400, 50); got != 50 {
+		t.Fatalf("Scale(400, 50) = %d under race, want the reduced count 50", got)
+	}
+}

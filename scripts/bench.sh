@@ -3,18 +3,24 @@
 # Benchmark runner for before/after performance records. Runs the macro
 # benchmarks (the full Figure 6 sweep and the raw simulator-throughput
 # workload) for one iteration each and the substrate micro-benchmarks
-# (event queue, block table) at a fixed benchtime, then writes one JSON
-# object per benchmark — ns/op, B/op, allocs/op — to the output file.
+# (event queue, block table, stream consumption, mesh send) at a fixed
+# benchtime, then writes one JSON object per benchmark — ns/op, B/op,
+# allocs/op — to the output file.
 #
 # Usage:
-#   scripts/bench.sh after.json                # current tree
+#   scripts/bench.sh after.json                  # current tree
 #   git stash && scripts/bench.sh base.json && git stash pop
+#   scripts/bench.sh after.json base.json merged.json
+#                      # also merge base/after into a benchstat-style
+#                      # before/after/delta record via cmd/benchdelta
 #
-# BENCH_2.json in the repo root pairs this script's output on the PR
-# base with its output after the zero-allocation core rework.
+# BENCH_2.json and BENCH_3.json in the repo root pair this script's
+# output on each PR base with its output after that PR's rework.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-bench_results.json}"
+before="${2:-}"
+merged="${3:-}"
 
 run() { # pattern package benchtime
   go test -run '^$' -bench "$1" -benchtime "$3" -benchmem "$2" 2>&1 |
@@ -25,6 +31,8 @@ run() { # pattern package benchtime
   run 'Figure6Serial|SimulatorThroughput' . 1x
   run 'EngineSchedule' ./internal/sim 2s
   run 'BlockTable|StdlibMap' ./internal/blockmap 2s
+  run 'StreamNext' ./internal/trace 2s
+  run 'MeshSend' ./internal/network 2s
 } | awk '
 BEGIN { print "{"; first = 1 }
 {
@@ -43,3 +51,7 @@ BEGIN { print "{"; first = 1 }
 END { print "\n}" }
 ' >"$out"
 echo "wrote $out"
+
+if [[ -n "$before" ]]; then
+  go run ./cmd/benchdelta -o "${merged:-bench_delta.json}" "$before" "$out"
+fi

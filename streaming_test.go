@@ -1,0 +1,65 @@
+package prefetchsim_test
+
+// Differential test for the batched streaming path (PR 3): the machine
+// detects streams that implement trace.BatchStream and runs its fused
+// batch fast path over them; wrapping the very same streams in
+// trace.PerOp hides the batch interface and forces the legacy
+// one-interface-call-per-op path. Both paths must produce bit-identical
+// simulations — every per-node counter, the network totals, and the
+// formatted report.
+
+import (
+	"reflect"
+	"testing"
+
+	"prefetchsim"
+	"prefetchsim/internal/trace"
+)
+
+// perOp rebuilds prog with every stream wrapped in trace.PerOp, hiding
+// NextBatch/Recycle from the machine.
+func perOp(prog *prefetchsim.Program) *prefetchsim.Program {
+	wrapped := &prefetchsim.Program{Name: prog.Name}
+	for _, s := range prog.Streams {
+		wrapped.Streams = append(wrapped.Streams, trace.PerOp{S: s})
+	}
+	return wrapped
+}
+
+func TestBatchedMatchesPerOpStream(t *testing.T) {
+	// matmul streams from a goroutine-free state machine (FuncStream),
+	// mp3d from a producer goroutine (ChanStream): the two BatchStream
+	// implementations the apps use.
+	for _, app := range []string{"matmul", "mp3d"} {
+		t.Run(app, func(t *testing.T) {
+			run := func(wrap bool) *prefetchsim.Result {
+				t.Helper()
+				prog, err := prefetchsim.BuildApp(app, prefetchsim.Params{Procs: 4, Seed: 12345})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wrap {
+					prog = perOp(prog)
+				}
+				res, err := prefetchsim.Run(prefetchsim.Config{
+					Program: prog, Scheme: prefetchsim.Seq, Processors: 4, Seed: 12345,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			batched, legacy := run(false), run(true)
+			if !reflect.DeepEqual(batched.Stats, legacy.Stats) {
+				t.Errorf("batched stats differ from per-op stats:\nbatched: %+v\nper-op:  %+v",
+					batched.Stats, legacy.Stats)
+			}
+			if b, l := digestStats(batched.Stats), digestStats(legacy.Stats); b != l {
+				t.Errorf("stat digests differ: batched %s, per-op %s", b, l)
+			}
+			if b, l := batched.Stats.String(), legacy.Stats.String(); b != l {
+				t.Errorf("formatted reports differ:\nbatched:\n%s\nper-op:\n%s", b, l)
+			}
+		})
+	}
+}
