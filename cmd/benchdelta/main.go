@@ -5,10 +5,17 @@
 // file are carried under "before_only"/"after_only". The merged object
 // is what the repo's BENCH_<n>.json records store.
 //
+// With -gate it instead compares a fresh bench.sh run against a
+// committed record and fails (exit 1) when any shared benchmark's
+// ns/op regressed by more than the threshold — the CI regression
+// check. The baseline may be a flat bench.sh file or a merged
+// BENCH_<n>.json record (its "after" section is the baseline).
+//
 // Usage:
 //
 //	benchdelta before.json after.json            # merged JSON on stdout
 //	benchdelta -o BENCH_3.json before.json after.json
+//	benchdelta -gate 25 BENCH_3.json current.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // metrics is one bench.sh row. Pointers distinguish "absent" from 0
@@ -35,6 +43,15 @@ type delta struct {
 	AllocsDelta *string `json:"allocs_per_op_delta,omitempty"`
 }
 
+// merged is the full before/after record benchdelta emits and the
+// repo's BENCH_<n>.json files store (alongside free-form fields such
+// as "description", which load ignores).
+type merged struct {
+	Benchmarks map[string]delta   `json:"benchmarks"`
+	BeforeOnly map[string]metrics `json:"before_only,omitempty"`
+	AfterOnly  map[string]metrics `json:"after_only,omitempty"`
+}
+
 func pct(before, after *float64) *string {
 	if before == nil || after == nil || *before == 0 {
 		return nil
@@ -43,10 +60,20 @@ func pct(before, after *float64) *string {
 	return &s
 }
 
-func load(path string) (map[string]metrics, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// parse decodes one result file: either a flat bench.sh map
+// (name -> metrics) or a merged BENCH_<n>.json record, whose "after"
+// triples become the returned map.
+func parse(data []byte, path string) (map[string]metrics, error) {
+	var rec merged
+	if err := json.Unmarshal(data, &rec); err == nil && len(rec.Benchmarks) > 0 {
+		m := make(map[string]metrics, len(rec.Benchmarks))
+		for name, d := range rec.Benchmarks {
+			m[name] = d.After
+		}
+		for name, a := range rec.AfterOnly {
+			m[name] = a
+		}
+		return m, nil
 	}
 	var m map[string]metrics
 	if err := json.Unmarshal(data, &m); err != nil {
@@ -55,39 +82,28 @@ func load(path string) (map[string]metrics, error) {
 	return m, nil
 }
 
-func main() {
-	out := flag.String("o", "", "write merged JSON to this file instead of stdout")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdelta [-o merged.json] before.json after.json")
-		os.Exit(2)
-	}
-	before, err := load(flag.Arg(0))
+func load(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdelta:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	after, err := load(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdelta:", err)
-		os.Exit(1)
-	}
+	return parse(data, path)
+}
 
-	merged := struct {
-		Benchmarks map[string]delta   `json:"benchmarks"`
-		BeforeOnly map[string]metrics `json:"before_only,omitempty"`
-		AfterOnly  map[string]metrics `json:"after_only,omitempty"`
-	}{Benchmarks: map[string]delta{}}
+// merge pairs every benchmark of before with after, computing the
+// percentage deltas; unpaired benchmarks land in BeforeOnly/AfterOnly.
+func mergeResults(before, after map[string]metrics) merged {
+	out := merged{Benchmarks: map[string]delta{}}
 	for name, b := range before {
 		a, ok := after[name]
 		if !ok {
-			if merged.BeforeOnly == nil {
-				merged.BeforeOnly = map[string]metrics{}
+			if out.BeforeOnly == nil {
+				out.BeforeOnly = map[string]metrics{}
 			}
-			merged.BeforeOnly[name] = b
+			out.BeforeOnly[name] = b
 			continue
 		}
-		merged.Benchmarks[name] = delta{
+		out.Benchmarks[name] = delta{
 			Before: b, After: a,
 			NsDelta:     pct(b.NsPerOp, a.NsPerOp),
 			BytesDelta:  pct(b.BytesPerOp, a.BytesPerOp),
@@ -96,18 +112,101 @@ func main() {
 	}
 	for name, a := range after {
 		if _, ok := before[name]; !ok {
-			if merged.AfterOnly == nil {
-				merged.AfterOnly = map[string]metrics{}
+			if out.AfterOnly == nil {
+				out.AfterOnly = map[string]metrics{}
 			}
-			merged.AfterOnly[name] = a
+			out.AfterOnly[name] = a
 		}
 	}
+	return out
+}
 
-	// MarshalIndent sorts map keys, so the record is stable across runs.
-	buf, err := json.MarshalIndent(merged, "", "  ")
+// gateResult is one benchmark's verdict from a gate comparison.
+type gateResult struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	DeltaPct float64
+	Failed   bool
+}
+
+// gate compares current ns/op against baseline ns/op for every
+// benchmark present in both (with a measured ns/op), in name order.
+// A benchmark fails when it regressed by more than thresholdPct
+// percent; improvements and missing benchmarks never fail.
+func gate(baseline, current map[string]metrics, thresholdPct float64) (results []gateResult, failed int) {
+	names := make([]string, 0, len(baseline))
+	for name, b := range baseline {
+		c, ok := current[name]
+		if !ok || b.NsPerOp == nil || c.NsPerOp == nil || *b.NsPerOp == 0 {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := *baseline[name].NsPerOp, *current[name].NsPerOp
+		d := 100 * (c - b) / b
+		r := gateResult{Name: name, Baseline: b, Current: c, DeltaPct: d, Failed: d > thresholdPct}
+		if r.Failed {
+			failed++
+		}
+		results = append(results, r)
+	}
+	return results, failed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdelta:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("o", "", "write merged JSON to this file instead of stdout")
+	gatePct := flag.Float64("gate", 0, "fail when any shared benchmark's ns/op regressed by more than this percentage (0 = merge mode)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta [-o merged.json] before.json after.json")
+		fmt.Fprintln(os.Stderr, "       benchdelta -gate <pct> baseline.json current.json")
+		os.Exit(2)
+	}
+	before, err := load(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdelta:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	after, err := load(args[1])
+	if err != nil {
+		fatal(err)
+	}
+
+	if *gatePct > 0 {
+		results, failed := gate(before, after, *gatePct)
+		if len(results) == 0 {
+			fatal(fmt.Errorf("gate: no shared benchmarks between %s and %s", args[0], args[1]))
+		}
+		for _, r := range results {
+			verdict := "ok"
+			if r.Failed {
+				verdict = fmt.Sprintf("FAIL (>%g%%)", *gatePct)
+			}
+			fmt.Printf("%-32s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+				r.Name, r.Baseline, r.Current, r.DeltaPct, verdict)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "benchdelta: %d of %d benchmarks regressed beyond %g%%\n",
+				failed, len(results), *gatePct)
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed: %d benchmarks within %g%% of baseline\n", len(results), *gatePct)
+		return
+	}
+
+	rec := mergeResults(before, after)
+	// MarshalIndent sorts map keys, so the record is stable across runs.
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
@@ -115,11 +214,10 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchdelta:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks compared", *out, len(merged.Benchmarks))
-	if n := len(merged.BeforeOnly) + len(merged.AfterOnly); n > 0 {
+	fmt.Printf("wrote %s (%d benchmarks compared", *out, len(rec.Benchmarks))
+	if n := len(rec.BeforeOnly) + len(rec.AfterOnly); n > 0 {
 		fmt.Printf(", %d unpaired", n)
 	}
 	fmt.Println(")")

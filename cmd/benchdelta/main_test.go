@@ -1,0 +1,154 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func m(ns, bytes, allocs *float64) metrics {
+	return metrics{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+}
+
+// TestParseFlat decodes the flat map scripts/bench.sh emits, including
+// the null B/op and allocs/op of a benchmark without -benchmem columns.
+func TestParseFlat(t *testing.T) {
+	data := []byte(`{
+		"BenchmarkA": {"ns_per_op": 100, "bytes_per_op": 8, "allocs_per_op": 1},
+		"BenchmarkB": {"ns_per_op": 50, "bytes_per_op": null, "allocs_per_op": null}
+	}`)
+	got, err := parse(data, "flat.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]metrics{
+		"BenchmarkA": m(f(100), f(8), f(1)),
+		"BenchmarkB": m(f(50), nil, nil),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse = %+v, want %+v", got, want)
+	}
+}
+
+// TestParseMerged decodes a committed BENCH_<n>.json record: the
+// "after" triples become the baseline, after_only entries included,
+// and free-form fields like "description" are ignored.
+func TestParseMerged(t *testing.T) {
+	data := []byte(`{
+		"description": "a record",
+		"baseline_commit": "abc1234",
+		"benchmarks": {
+			"BenchmarkA": {
+				"before": {"ns_per_op": 120, "bytes_per_op": 8, "allocs_per_op": 1},
+				"after":  {"ns_per_op": 100, "bytes_per_op": 8, "allocs_per_op": 1},
+				"ns_per_op_delta": "-16.7%"
+			}
+		},
+		"after_only": {
+			"BenchmarkNew": {"ns_per_op": 7, "bytes_per_op": 0, "allocs_per_op": 0}
+		}
+	}`)
+	got, err := parse(data, "BENCH_9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]metrics{
+		"BenchmarkA":   m(f(100), f(8), f(1)),
+		"BenchmarkNew": m(f(7), f(0), f(0)),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parse = %+v, want %+v", got, want)
+	}
+}
+
+// TestParseRejectsGarbage: a file that is neither shape errors out
+// instead of silently gating against nothing.
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parse([]byte(`[1, 2, 3]`), "bad.json"); err == nil {
+		t.Fatal("parse accepted a JSON array")
+	}
+}
+
+// TestMergeResults checks the before/after pairing and the delta
+// strings, including unpaired benchmarks on both sides.
+func TestMergeResults(t *testing.T) {
+	before := map[string]metrics{
+		"BenchmarkA":    m(f(100), f(8), f(2)),
+		"BenchmarkGone": m(f(10), nil, nil),
+	}
+	after := map[string]metrics{
+		"BenchmarkA":   m(f(150), f(8), f(1)),
+		"BenchmarkNew": m(f(5), nil, nil),
+	}
+	rec := mergeResults(before, after)
+	d, ok := rec.Benchmarks["BenchmarkA"]
+	if !ok {
+		t.Fatal("BenchmarkA not merged")
+	}
+	if d.NsDelta == nil || *d.NsDelta != "+50.0%" {
+		t.Errorf("ns delta = %v, want +50.0%%", d.NsDelta)
+	}
+	if d.AllocsDelta == nil || *d.AllocsDelta != "-50.0%" {
+		t.Errorf("allocs delta = %v, want -50.0%%", d.AllocsDelta)
+	}
+	if _, ok := rec.BeforeOnly["BenchmarkGone"]; !ok {
+		t.Error("BenchmarkGone missing from before_only")
+	}
+	if _, ok := rec.AfterOnly["BenchmarkNew"]; !ok {
+		t.Error("BenchmarkNew missing from after_only")
+	}
+}
+
+// TestGate pins the regression gate's verdicts: regressions beyond the
+// threshold fail, regressions within it and improvements pass, and
+// benchmarks absent from either side (or without ns/op) are skipped.
+func TestGate(t *testing.T) {
+	baseline := map[string]metrics{
+		"BenchmarkSlower": m(f(100), nil, nil), // +30% — beyond 25
+		"BenchmarkWithin": m(f(100), nil, nil), // +20% — within 25
+		"BenchmarkFaster": m(f(100), nil, nil), // -40% — improvement
+		"BenchmarkGone":   m(f(100), nil, nil), // not in current
+		"BenchmarkNoNs":   m(nil, f(8), nil),   // no measurement
+		"BenchmarkZeroNs": m(f(0), nil, nil),   // division guard
+	}
+	current := map[string]metrics{
+		"BenchmarkSlower":  m(f(130), nil, nil),
+		"BenchmarkWithin":  m(f(120), nil, nil),
+		"BenchmarkFaster":  m(f(60), nil, nil),
+		"BenchmarkNoNs":    m(f(5), nil, nil),
+		"BenchmarkZeroNs":  m(f(5), nil, nil),
+		"BenchmarkOnlyCur": m(f(5), nil, nil),
+	}
+	results, failed := gate(baseline, current, 25)
+	if len(results) != 3 {
+		t.Fatalf("gate compared %d benchmarks, want 3: %+v", len(results), results)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	verdicts := map[string]bool{}
+	for _, r := range results {
+		verdicts[r.Name] = r.Failed
+	}
+	want := map[string]bool{
+		"BenchmarkSlower": true,
+		"BenchmarkWithin": false,
+		"BenchmarkFaster": false,
+	}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Fatalf("verdicts = %v, want %v", verdicts, want)
+	}
+
+	// Results come back name-sorted so CI logs are stable.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Name > results[i].Name {
+			t.Fatalf("results not sorted: %s before %s", results[i-1].Name, results[i].Name)
+		}
+	}
+
+	// At a looser threshold everything passes.
+	if _, failed := gate(baseline, current, 50); failed != 0 {
+		t.Fatalf("50%% gate failed %d benchmarks, want 0", failed)
+	}
+}

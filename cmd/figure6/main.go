@@ -13,6 +13,7 @@
 //	figure6 -extensions -app lu
 //	figure6 -consistency mp3d ocean
 //	figure6 -j 8                 # fan simulations across 8 workers
+//	figure6 -manifest fig6.json -metrics
 //
 // Simulations fan out across -j worker goroutines (default: all
 // cores); the rows are identical to a serial run regardless of -j.
@@ -22,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"prefetchsim"
 )
@@ -44,12 +47,21 @@ func main() {
 	consistency := flag.Bool("consistency", false, "compare release vs sequential consistency")
 	bars := flag.Bool("bars", false, "render the three panels as bar charts, as in the paper")
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+	manifest := flag.String("manifest", "", "write the sweep's provenance manifest (JSON) to this file")
+	metrics := flag.Bool("metrics", false, "print sweep-wide metric totals")
 	flag.Parse()
 
 	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
 	if args := flag.Args(); len(args) > 0 {
 		opt.Apps = args
 	}
+	var rec *prefetchsim.ManifestRecorder
+	if *manifest != "" || *metrics {
+		rec = &prefetchsim.ManifestRecorder{}
+		opt.Record = rec
+	}
+	start := time.Now()
+	var rendered []string
 
 	switch {
 	case *bandwidth != "":
@@ -58,6 +70,7 @@ func main() {
 		fmt.Printf("Bandwidth-limitation study (§7) on %s\n", *app)
 		rows, err := prefetchsim.BandwidthSweep(*app, fs, opt)
 		exitOn(err)
+		rendered = render(rows)
 		for _, r := range rows {
 			fmt.Println(" ", r)
 		}
@@ -67,6 +80,7 @@ func main() {
 		fmt.Printf("SLC associativity ablation (16 KB) on %s\n", *app)
 		rows, err := prefetchsim.AssocSweep(*app, ws, opt)
 		exitOn(err)
+		rendered = render(rows)
 		for _, r := range rows {
 			fmt.Println(" ", r)
 		}
@@ -74,11 +88,13 @@ func main() {
 		fmt.Printf("Extension schemes (§6) on %s\n", *app)
 		rows, err := prefetchsim.ExtensionCompare(*app, opt)
 		exitOn(err)
+		rendered = render(rows)
 		print(rows)
 	case *consistency:
 		fmt.Println("Release vs sequential consistency (the paper assumes RC)")
 		rows, err := prefetchsim.ConsistencyCompare(opt)
 		exitOn(err)
+		rendered = render(rows)
 		for _, r := range rows {
 			fmt.Println(" ", r)
 		}
@@ -88,6 +104,7 @@ func main() {
 		fmt.Printf("Degree sweep: %s on %s\n", *scheme, *app)
 		rows, err := prefetchsim.DegreeSweep(*app, prefetchsim.Scheme(*scheme), ds, opt)
 		exitOn(err)
+		rendered = render(rows)
 		print(rows)
 	case *slcsweep != "":
 		ss, err := ints(*slcsweep)
@@ -95,6 +112,7 @@ func main() {
 		fmt.Printf("SLC-size sweep: %s on %s\n", *scheme, *app)
 		rows, err := prefetchsim.SLCSweep(*app, prefetchsim.Scheme(*scheme), ss, opt)
 		exitOn(err)
+		rendered = render(rows)
 		print(rows)
 	default:
 		schemes := prefetchsim.Schemes()
@@ -112,11 +130,44 @@ func main() {
 			rows, err = prefetchsim.Figure6(opt, schemes...)
 		}
 		exitOn(err)
+		rendered = render(rows)
 		if *bars {
 			fmt.Print(prefetchsim.RenderBars(rows))
 		} else {
 			print(rows)
 		}
+	}
+
+	if *metrics {
+		printTotals(rec.Totals())
+	}
+	if *manifest != "" {
+		sm := rec.Sweep("figure6", os.Args[1:], rendered, time.Since(start))
+		exitOn(sm.WriteFile(*manifest))
+		fmt.Printf("manifest: %s (%d runs, rows digest %s)\n", *manifest, len(sm.Runs), sm.RowsDigest)
+	}
+}
+
+// render flattens a row slice to its String() forms, in row order, for
+// the sweep manifest's digest.
+func render[R fmt.Stringer](rows []R) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// printTotals renders sweep-wide metric totals, name-sorted.
+func printTotals(totals map[string]int64) {
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("metric totals:")
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, totals[n])
 	}
 }
 

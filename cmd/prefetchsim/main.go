@@ -5,6 +5,8 @@
 //
 //	prefetchsim -app lu -scheme Seq -degree 1
 //	prefetchsim -app ocean -scheme I-det -slc 16384 -chars
+//	prefetchsim -app lu -scheme Seq -manifest run.json -metrics
+//	prefetchsim -app mp3d -trace events.jsonl -trace-sample 16
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"prefetchsim"
 	"prefetchsim/internal/prof"
@@ -28,6 +31,10 @@ func main() {
 	chars := flag.Bool("chars", false, "print the Table 2/3 stride-sequence analysis of processor 0")
 	record := flag.String("record", "", "record the application's reference trace to this file and exit")
 	replay := flag.String("replay", "", "simulate a trace file recorded with -record instead of -app")
+	manifest := flag.String("manifest", "", "write the run's provenance manifest (JSON) to this file")
+	trace := flag.String("trace", "", "write a JSONL event trace (misses, prefetches, invalidations, acks) to this file")
+	traceSample := flag.Int("trace-sample", 1, "keep one in N traced events")
+	metrics := flag.Bool("metrics", false, "print the run's metric snapshot")
 	pf := prof.Register()
 	flag.Parse()
 
@@ -56,7 +63,7 @@ func main() {
 		exitOn(f.Close())
 	}
 
-	res, err := prefetchsim.Run(prefetchsim.Config{
+	cfg := prefetchsim.Config{
 		App:                    *app,
 		Program:                program,
 		Scheme:                 prefetchsim.Scheme(*scheme),
@@ -66,8 +73,20 @@ func main() {
 		Scale:                  *scale,
 		Seed:                   *seed,
 		CollectCharacteristics: *chars,
-	})
+		CollectMetrics:         *metrics || *manifest != "",
+	}
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		exitOn(err)
+		traceFile = f
+		cfg.Trace = &prefetchsim.TraceConfig{W: f, Sample: *traceSample}
+	}
+
+	start := time.Now()
+	res, err := prefetchsim.Run(cfg)
 	exitOn(err)
+	wall := time.Since(start)
 	fmt.Printf("%s / %s (d=%d, %d processors", res.App, res.Scheme, *degree, *procs)
 	if *slc == 0 {
 		fmt.Printf(", infinite SLC)\n")
@@ -77,6 +96,24 @@ func main() {
 	fmt.Print(res.Stats)
 	if res.Chars != nil {
 		fmt.Println("processor-0 characteristics:", res.Chars)
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		for _, s := range res.Metrics {
+			fmt.Printf("  %-28s %d\n", s.Name, s.Value)
+		}
+	}
+	if traceFile != nil {
+		exitOn(traceFile.Close())
+		if sum := res.TraceStats; sum != nil {
+			fmt.Printf("trace: %d events seen, %d kept, %d dropped -> %s\n",
+				sum.Seen, sum.Kept, sum.Dropped, *trace)
+		}
+	}
+	if *manifest != "" {
+		m := prefetchsim.NewManifest(cfg, res, wall)
+		exitOn(m.WriteFile(*manifest))
+		fmt.Printf("manifest: %s (stats digest %s)\n", *manifest, m.StatsDigest)
 	}
 }
 

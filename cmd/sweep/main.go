@@ -8,6 +8,7 @@
 //
 //	sweep -apps lu,water -schemes baseline,I-det,Seq -o results.csv
 //	sweep -apps mp3d -schemes baseline,Seq -slc 0,16384 -degrees 1,2,4 -j 8
+//	sweep -apps lu -schemes baseline,Seq -manifest sweep.json -metrics
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"prefetchsim"
 	"prefetchsim/internal/prof"
@@ -75,27 +78,37 @@ func (s spec) configs() []prefetchsim.Config {
 // sweep runs the factorial design across spec.workers goroutines and
 // writes the CSV to w. A failed configuration is reported on errw and
 // skipped; the remaining rows are still written. It returns the number
-// of data rows written and the number of failed configurations.
-func sweep(s spec, w, errw io.Writer) (rows, failed int, err error) {
+// of data rows written, the number of failed configurations and the
+// rendered rows (for the sweep manifest's digest). rec, when non-nil,
+// receives one provenance manifest per simulation.
+func sweep(s spec, w, errw io.Writer, rec *prefetchsim.ManifestRecorder) (rows, failed int, rendered []string, err error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
-		return 0, 0, err
+		return 0, 0, nil, err
 	}
 	cfgs := s.configs()
-	results, errs := prefetchsim.RunMany(cfgs, s.workers, nil)
+	var results []*prefetchsim.Result
+	var errs []error
+	if rec != nil {
+		results, errs = prefetchsim.RunManyRecorded(cfgs, s.workers, rec, nil)
+	} else {
+		results, errs = prefetchsim.RunMany(cfgs, s.workers, nil)
+	}
 	for i, res := range results {
 		if errs[i] != nil {
 			failed++
 			fmt.Fprintf(errw, "sweep: %s/%s: %v\n", cfgs[i].App, cfgs[i].Scheme, errs[i])
 			continue
 		}
-		if err := cw.Write(record(res, cfgs[i])); err != nil {
-			return rows, failed, err
+		fields := record(res, cfgs[i])
+		if err := cw.Write(fields); err != nil {
+			return rows, failed, rendered, err
 		}
+		rendered = append(rendered, strings.Join(fields, ","))
 		rows++
 	}
 	cw.Flush()
-	return rows, failed, cw.Error()
+	return rows, failed, rendered, cw.Error()
 }
 
 func main() {
@@ -110,6 +123,8 @@ func main() {
 	bw := flag.Int("bandwidth", 1, "bandwidth divisor")
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	out := flag.String("o", "", "output CSV file (default stdout)")
+	manifest := flag.String("manifest", "", "write the sweep's provenance manifest (JSON) to this file")
+	metrics := flag.Bool("metrics", false, "print sweep-wide metric totals on stderr")
 	pf := prof.Register()
 	flag.Parse()
 
@@ -136,15 +151,41 @@ func main() {
 		ways:    *ways, procs: *procs, scale: *scale, seed: *seed, bw: *bw,
 		workers: *workers,
 	}
-	rows, failed, err := sweep(s, w, os.Stderr)
+	var rec *prefetchsim.ManifestRecorder
+	if *manifest != "" || *metrics {
+		rec = &prefetchsim.ManifestRecorder{}
+	}
+	start := time.Now()
+	rows, failed, rendered, err := sweep(s, w, os.Stderr, rec)
 	exitOn(err)
 	exitOn(pf.Stop())
 	if *out != "" {
 		fmt.Printf("wrote %d rows to %s\n", rows, *out)
 	}
+	if *metrics {
+		printTotals(os.Stderr, rec.Totals())
+	}
+	if *manifest != "" {
+		sm := rec.Sweep("sweep", os.Args[1:], rendered, time.Since(start))
+		exitOn(sm.WriteFile(*manifest))
+		fmt.Printf("manifest: %s (%d runs, rows digest %s)\n", *manifest, len(sm.Runs), sm.RowsDigest)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "sweep: %d of %d configurations failed\n", failed, rows+failed)
 		os.Exit(1)
+	}
+}
+
+// printTotals renders sweep-wide metric totals, name-sorted.
+func printTotals(w io.Writer, totals map[string]int64) {
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "metric totals:")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-28s %d\n", n, totals[n])
 	}
 }
 

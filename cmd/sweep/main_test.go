@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"prefetchsim"
 )
 
 func testSpec() spec {
@@ -24,7 +26,8 @@ func testSpec() spec {
 // per header column, and every numeric column must parse.
 func TestSweepCSVRoundTrip(t *testing.T) {
 	var out, errs bytes.Buffer
-	rows, failed, err := sweep(testSpec(), &out, &errs)
+	rec := &prefetchsim.ManifestRecorder{}
+	rows, failed, rendered, err := sweep(testSpec(), &out, &errs, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +39,12 @@ func TestSweepCSVRoundTrip(t *testing.T) {
 	wantRows := 2 * 3
 	if rows != wantRows {
 		t.Fatalf("sweep reported %d rows, want %d", rows, wantRows)
+	}
+	if len(rendered) != wantRows {
+		t.Fatalf("rendered %d rows for the manifest, want %d", len(rendered), wantRows)
+	}
+	if rec.Len() != wantRows {
+		t.Fatalf("recorded %d run manifests, want %d", rec.Len(), wantRows)
 	}
 
 	records, err := csv.NewReader(bytes.NewReader(out.Bytes())).ReadAll()
@@ -76,7 +85,7 @@ func TestSweepBadAppCompletesRest(t *testing.T) {
 	s.degrees = []int{1}
 	s.slcs = []int{0}
 	var out, errs bytes.Buffer
-	rows, failed, err := sweep(s, &out, &errs)
+	rows, failed, _, err := sweep(s, &out, &errs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +114,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	s := testSpec()
 	var serial, parallel bytes.Buffer
 	s.workers = 1
-	if _, _, err := sweep(s, &serial, &bytes.Buffer{}); err != nil {
+	if _, _, _, err := sweep(s, &serial, &bytes.Buffer{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.workers = 8
-	if _, _, err := sweep(s, &parallel, &bytes.Buffer{}); err != nil {
+	if _, _, _, err := sweep(s, &parallel, &bytes.Buffer{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {

@@ -8,6 +8,7 @@
 //	tables -table 3            # finite 16 KB SLC characteristics
 //	tables -table 4            # larger-data-set trends
 //	tables -table 2 -j 4       # fan the per-app runs across 4 workers
+//	tables -table 3 -manifest t3.json -metrics
 //
 // The applications' runs fan out across -j worker goroutines (default:
 // all cores); the rows are identical to a serial run regardless of -j.
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"prefetchsim"
 )
@@ -27,39 +30,75 @@ func main() {
 	scale := flag.Int("scale", 1, "data-set scale")
 	seed := flag.Uint64("seed", 0, "workload seed")
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+	manifest := flag.String("manifest", "", "write the table's provenance manifest (JSON) to this file")
+	metrics := flag.Bool("metrics", false, "print table-wide metric totals")
 	flag.Parse()
 
 	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
 	if args := flag.Args(); len(args) > 0 {
 		opt.Apps = args
 	}
+	var rec *prefetchsim.ManifestRecorder
+	if *manifest != "" || *metrics {
+		rec = &prefetchsim.ManifestRecorder{}
+		opt.Record = rec
+	}
+	start := time.Now()
+	var rendered []string
 
 	switch *table {
 	case 2:
 		fmt.Println("Table 2: application characteristics, infinite second-level cache")
 		rows, err := prefetchsim.Table2(opt)
 		exitOn(err)
-		for _, r := range rows {
-			fmt.Println(" ", r)
-		}
+		rendered = emit(rows)
 	case 3:
 		fmt.Printf("Table 3: application characteristics, finite %d-byte direct-mapped SLC\n",
 			prefetchsim.FiniteSLCBytes)
 		rows, err := prefetchsim.Table3(opt)
 		exitOn(err)
-		for _, r := range rows {
-			fmt.Println(" ", r)
-		}
+		rendered = emit(rows)
 	case 4:
 		fmt.Println("Table 4: characteristics trend with larger data sets, infinite SLC")
 		rows, err := prefetchsim.Table4(opt)
 		exitOn(err)
-		for _, r := range rows {
-			fmt.Println(" ", r)
-		}
+		rendered = emit(rows)
 	default:
 		fmt.Fprintln(os.Stderr, "tables: -table must be 2, 3 or 4")
 		os.Exit(2)
+	}
+
+	if *metrics {
+		printTotals(rec.Totals())
+	}
+	if *manifest != "" {
+		sm := rec.Sweep("tables", os.Args[1:], rendered, time.Since(start))
+		exitOn(sm.WriteFile(*manifest))
+		fmt.Printf("manifest: %s (%d runs, rows digest %s)\n", *manifest, len(sm.Runs), sm.RowsDigest)
+	}
+}
+
+// emit prints each row indented and returns the rendered lines for the
+// manifest's row digest.
+func emit[R fmt.Stringer](rows []R) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+		fmt.Println(" ", r)
+	}
+	return out
+}
+
+// printTotals renders table-wide metric totals, name-sorted.
+func printTotals(totals map[string]int64) {
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("metric totals:")
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, totals[n])
 	}
 }
 

@@ -3,6 +3,7 @@ package prefetchsim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"prefetchsim/internal/analysis"
 	"prefetchsim/internal/machine"
@@ -43,6 +44,15 @@ type ExpOptions struct {
 	// with the number done and the job total. Calls are serialized and
 	// done is strictly increasing.
 	Progress func(done, total int)
+	// OnRow, when non-nil, streams each finished row (in completion
+	// order, serialized) as the sweep executes, before the full row
+	// slice is returned. Rows of failed jobs are not streamed.
+	OnRow func(done, total int, row fmt.Stringer)
+	// Record, when non-nil, collects one provenance manifest — config,
+	// wall and virtual time, stats digest, metric totals — per
+	// simulation the sweep executes (including shared baselines, once
+	// each). See ManifestRecorder.
+	Record *ManifestRecorder
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -56,6 +66,42 @@ func (o ExpOptions) withDefaults() ExpOptions {
 		o.Apps = Apps()
 	}
 	return o
+}
+
+// run executes one simulation of a sweep. With a manifest recorder
+// attached it forces metric collection and records the run's
+// provenance; results are identical either way.
+func (o ExpOptions) run(cfg Config) (*Result, error) {
+	if o.Record == nil {
+		return Run(cfg)
+	}
+	cfg.CollectMetrics = true
+	start := time.Now()
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.Record.record(cfg, res, time.Since(start))
+	return res, nil
+}
+
+// mapRows fans a sweep's jobs across the worker pool and streams every
+// finished row to OnRow (and the count to Progress) as it lands, then
+// gathers the submission-ordered rows.
+func mapRows[J any, R fmt.Stringer](o ExpOptions, jobs []J, fn func(i int, j J) (R, error)) ([]R, error) {
+	var each func(done, total, i int, r R, err error)
+	if o.Progress != nil || o.OnRow != nil {
+		each = func(done, total, _ int, r R, err error) {
+			if o.OnRow != nil && err == nil {
+				o.OnRow(done, total, r)
+			}
+			if o.Progress != nil {
+				o.Progress(done, total)
+			}
+		}
+	}
+	rows, errs := runner.MapEach(o.Workers, jobs, fn, each)
+	return gather(rows, errs)
 }
 
 // CharRow is one application's column of Table 2 or Table 3.
@@ -89,7 +135,7 @@ func (r CharRow) String() string {
 // charRow runs one application on the baseline machine and analyzes
 // processor 0's miss stream.
 func charRow(app string, slcBytes int, o ExpOptions) (CharRow, error) {
-	res, err := Run(Config{
+	res, err := o.run(Config{
 		App: app, Scheme: Baseline, Processors: o.Procs, Scale: o.Scale,
 		Seed: o.Seed, SLCBytes: slcBytes, CollectCharacteristics: true,
 	})
@@ -117,10 +163,9 @@ func charRow(app string, slcBytes int, o ExpOptions) (CharRow, error) {
 // back joined, alongside the successful rows.
 func charTable(o ExpOptions, slcBytes int) ([]CharRow, error) {
 	o = o.withDefaults()
-	rows, errs := runner.Map(o.Workers, o.Apps, func(_ int, app string) (CharRow, error) {
+	return mapRows(o, o.Apps, func(_ int, app string) (CharRow, error) {
 		return charRow(app, slcBytes, o)
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 // Table2 reproduces the paper's Table 2: application characteristics
@@ -174,7 +219,7 @@ func Table4(o ExpOptions) ([]TrendRow, error) {
 			apps = append(apps, a)
 		}
 	}
-	rows, errs := runner.Map(o.Workers, apps, func(_ int, app string) (TrendRow, error) {
+	rows, err := mapRows(o, apps, func(_ int, app string) (TrendRow, error) {
 		small, err := charRow(app, 0, o)
 		if err != nil {
 			return TrendRow{}, err
@@ -192,8 +237,8 @@ func Table4(o ExpOptions) ([]TrendRow, error) {
 			LenTrend: trend(small.AvgSeqLen, large.AvgSeqLen, 0.10,
 				"longer", "shorter", "limited"),
 		}, nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
+	return rows, err
 }
 
 // Fig6Row is one bar of Figure 6: a scheme's read misses and read stall
@@ -245,20 +290,19 @@ func figure6(o ExpOptions, slcBytes int, schemes ...Scheme) ([]Fig6Row, error) {
 		}
 	}
 	var base baselineCache
-	rows, errs := runner.Map(o.Workers, jobs, func(_ int, j job) (Fig6Row, error) {
-		baseRes, err := base.get(Config{App: j.app, Scheme: Baseline,
+	return mapRows(o, jobs, func(_ int, j job) (Fig6Row, error) {
+		baseRes, err := base.get(o, Config{App: j.app, Scheme: Baseline,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
 		if err != nil {
 			return Fig6Row{}, err
 		}
-		res, err := Run(Config{App: j.app, Scheme: j.scheme, Degree: 1,
+		res, err := o.run(Config{App: j.app, Scheme: j.scheme, Degree: 1,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: slcBytes})
 		if err != nil {
 			return Fig6Row{}, err
 		}
 		return fig6Row(j.app, j.scheme, baseRes, res), nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 func fig6Row(app string, s Scheme, base, res *Result) Fig6Row {
@@ -281,20 +325,19 @@ func fig6Row(app string, s Scheme, base, res *Result) Fig6Row {
 func DegreeSweep(app string, scheme Scheme, degrees []int, o ExpOptions) ([]Fig6Row, error) {
 	o = o.withDefaults()
 	var base baselineCache
-	rows, errs := runner.Map(o.Workers, degrees, func(_ int, d int) (Fig6Row, error) {
-		baseRes, err := base.get(Config{App: app, Scheme: Baseline,
+	return mapRows(o, degrees, func(_ int, d int) (Fig6Row, error) {
+		baseRes, err := base.get(o, Config{App: app, Scheme: Baseline,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
 			return Fig6Row{}, err
 		}
-		res, err := Run(Config{App: app, Scheme: scheme, Degree: d,
+		res, err := o.run(Config{App: app, Scheme: scheme, Degree: d,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
 			return Fig6Row{}, err
 		}
 		return fig6Row(app, Scheme(fmt.Sprintf("%s-d%d", scheme, d)), baseRes, res), nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 // SLCSweep runs one application and scheme across finite SLC sizes,
@@ -302,20 +345,19 @@ func DegreeSweep(app string, scheme Scheme, degrees []int, o ExpOptions) ([]Fig6
 func SLCSweep(app string, scheme Scheme, sizes []int, o ExpOptions) ([]Fig6Row, error) {
 	o = o.withDefaults()
 	var base baselineCache
-	rows, errs := runner.Map(o.Workers, sizes, func(_ int, size int) (Fig6Row, error) {
-		baseRes, err := base.get(Config{App: app, Scheme: Baseline,
+	return mapRows(o, sizes, func(_ int, size int) (Fig6Row, error) {
+		baseRes, err := base.get(o, Config{App: app, Scheme: Baseline,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: size})
 		if err != nil {
 			return Fig6Row{}, err
 		}
-		res, err := Run(Config{App: app, Scheme: scheme, Degree: 1,
+		res, err := o.run(Config{App: app, Scheme: scheme, Degree: 1,
 			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, SLCBytes: size})
 		if err != nil {
 			return Fig6Row{}, err
 		}
 		return fig6Row(app, Scheme(fmt.Sprintf("%s-slc%dK", scheme, size/1024)), baseRes, res), nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 // ExtensionCompare runs the §6 extension schemes next to their paper
@@ -323,10 +365,8 @@ func SLCSweep(app string, scheme Scheme, sizes []int, o ExpOptions) ([]Fig6Row, 
 // lookahead-PC, Hagersten's adaptive distance) and the hybrid
 // software-assisted scheme.
 func ExtensionCompare(app string, o ExpOptions) ([]Fig6Row, error) {
-	return Figure6(ExpOptions{
-		Procs: o.Procs, Scale: o.Scale, Seed: o.Seed, Apps: []string{app},
-		Workers: o.Workers, Progress: o.Progress,
-	}, IDet, IDetLA, DDet, DDetLA, Seq, Hybrid)
+	o.Apps = []string{app}
+	return Figure6(o, IDet, IDetLA, DDet, DDetLA, Seq, Hybrid)
 }
 
 // ConsistencyRow is one entry of the consistency ablation.
@@ -349,12 +389,12 @@ func (r ConsistencyRow) String() string {
 // block (sequential consistency).
 func ConsistencyCompare(o ExpOptions) ([]ConsistencyRow, error) {
 	o = o.withDefaults()
-	rows, errs := runner.Map(o.Workers, o.Apps, func(_ int, app string) (ConsistencyRow, error) {
-		rc, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
+	return mapRows(o, o.Apps, func(_ int, app string) (ConsistencyRow, error) {
+		rc, err := o.run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
 		if err != nil {
 			return ConsistencyRow{}, err
 		}
-		sc, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed,
+		sc, err := o.run(Config{App: app, Processors: o.Procs, Scale: o.Scale, Seed: o.Seed,
 			SequentialConsistency: true})
 		if err != nil {
 			return ConsistencyRow{}, err
@@ -368,8 +408,7 @@ func ConsistencyCompare(o ExpOptions) ([]ConsistencyRow, error) {
 			row.RCWriteStall += int64(rc.Stats.Nodes[i].WriteStall)
 		}
 		return row, nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 // BandwidthRow is one entry of the §7 bandwidth-limitation study.
@@ -396,15 +435,15 @@ func (r BandwidthRow) String() string {
 // the equally-throttled baseline.
 func BandwidthSweep(app string, factors []int, o ExpOptions) ([]BandwidthRow, error) {
 	o = o.withDefaults()
-	rows, errs := runner.Map(o.Workers, factors, func(_ int, f int) (BandwidthRow, error) {
-		base, err := Run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
+	return mapRows(o, factors, func(_ int, f int) (BandwidthRow, error) {
+		base, err := o.run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
 			Seed: o.Seed, BandwidthFactor: f})
 		if err != nil {
 			return BandwidthRow{}, err
 		}
 		row := BandwidthRow{App: app, Factor: f}
 		for _, s := range []Scheme{Seq, IDet} {
-			res, err := Run(Config{App: app, Scheme: s, Degree: 1,
+			res, err := o.run(Config{App: app, Scheme: s, Degree: 1,
 				Processors: o.Procs, Scale: o.Scale, Seed: o.Seed, BandwidthFactor: f})
 			if err != nil {
 				return BandwidthRow{}, err
@@ -420,8 +459,7 @@ func BandwidthSweep(app string, factors []int, o ExpOptions) ([]BandwidthRow, er
 			}
 		}
 		return row, nil
-	}, o.Progress)
-	return gather(rows, errs)
+	})
 }
 
 // AssocRow is one entry of the associativity ablation.
@@ -444,7 +482,7 @@ func AssocSweep(app string, ways []int, o ExpOptions) ([]AssocRow, error) {
 	// The runs are independent; only the relative-misses column depends
 	// on the first (direct-mapped) run, so normalize after the fan-out.
 	results, errs := runner.Map(o.Workers, ways, func(_ int, w int) (*Result, error) {
-		return Run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
+		return o.run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
 			Seed: o.Seed, SLCBytes: FiniteSLCBytes, SLCWays: w})
 	}, o.Progress)
 	var dmMisses int64

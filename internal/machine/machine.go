@@ -23,6 +23,7 @@ import (
 	"prefetchsim/internal/mem"
 	"prefetchsim/internal/memsys"
 	"prefetchsim/internal/network"
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/prefetch"
 	"prefetchsim/internal/sim"
 	"prefetchsim/internal/stats"
@@ -79,6 +80,10 @@ type Config struct {
 	// PC and the missing address. The Table 2/3 application-
 	// characteristics analysis is built on this hook.
 	MissObserver func(node int, pc trace.PC, addr mem.Addr)
+	// Tracer, if non-nil, receives miss/prefetch/invalidate/ack events
+	// as the run executes (internal/obs). Purely observational: it
+	// changes no timing and no statistic.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's fixed architectural parameters
@@ -109,6 +114,12 @@ type Machine struct {
 	// records (events.go); the steady-state protocol allocates nothing.
 	evFree *ev
 	txFree []*pendingTx
+
+	// engMet holds the engine's observability instruments (metrics.go);
+	// embedding them here keeps instrumentation allocation-free.
+	engMet sim.EngineMetrics
+	// tr is the optional event tracer from Config.Tracer.
+	tr *obs.Tracer
 
 	// Stats accumulates results; valid after Run.
 	Stats *stats.Machine
@@ -151,9 +162,10 @@ const (
 
 // node is one processing node.
 type node struct {
-	id int
-	st *stats.Node
-	pf prefetch.Prefetcher
+	id  int
+	st  *stats.Node
+	met NodeMetrics
+	pf  prefetch.Prefetcher
 
 	stream trace.Stream
 	// batch is the local run of ops the fetch-execute loop iterates
@@ -223,6 +235,8 @@ func New(cfg Config, prog *trace.Program) (*Machine, error) {
 		Stats: stats.New(cfg.Processors),
 	}
 	m.mesh.BandwidthFactor = cfg.BandwidthFactor
+	m.tr = cfg.Tracer
+	m.eng.SetMetrics(&m.engMet)
 	for i := 0; i < cfg.Processors; i++ {
 		m.mems[i] = &memsys.Module{BandwidthFactor: cfg.BandwidthFactor}
 		var store cache.Store
@@ -287,6 +301,7 @@ func (m *Machine) finalize() {
 			max = n.st.ExecTime
 		}
 		n.st.PrefetchesUnconsumed = int64(n.slc.PrefetchedCount())
+		n.met.PrefUseless.Add(n.st.PrefetchesUnconsumed)
 	}
 	m.Stats.ExecTime = max
 	m.Stats.NetMessages = m.mesh.Messages
@@ -309,6 +324,7 @@ func (m *Machine) scheduleStep(n *node) {
 func (m *Machine) trySLWB(n *node) bool {
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
+		n.slwbSet()
 		return true
 	}
 	return false
@@ -318,11 +334,13 @@ func (m *Machine) trySLWB(n *node) bool {
 // if any.
 func (m *Machine) freeSLWB(n *node) {
 	n.slwbUsed--
+	n.slwbSet()
 	if len(n.slwbWaiters) > 0 {
 		w := n.slwbWaiters[0]
 		n.slwbWaiters[0] = slwbWaiter{}
 		n.slwbWaiters = n.slwbWaiters[1:]
 		n.slwbUsed++
+		n.slwbSet()
 		if w.tx.kind == txRead {
 			m.dispatchReadTx(n, w.b, w.tx, m.eng.Now())
 		} else {
@@ -331,21 +349,32 @@ func (m *Machine) freeSLWB(n *node) {
 	}
 }
 
-// classifyMiss attributes a demand read miss to cold, coherence or
-// replacement (§5.1, §5.3).
-func (m *Machine) classifyMiss(n *node, b mem.Block) {
+// classifyMiss attributes a demand read miss at time at to cold,
+// coherence or replacement (§5.1, §5.3), mirrors the class into the
+// node's metrics and traces it.
+func (m *Machine) classifyMiss(n *node, b mem.Block, at sim.Time) {
 	h, _ := n.hist.Get(b)
+	var class uint8
 	switch {
 	case h&hTouched == 0:
 		n.st.ColdMisses++
+		n.met.MissCold.Inc()
+		class = obs.MissCold
 	case h&hInv != 0:
 		n.st.CoherenceMisses++
+		n.met.MissCoherence.Inc()
+		class = obs.MissCoherence
 	case h&hRepl != 0:
 		n.st.ReplacementMisses++
+		n.met.MissReplacement.Inc()
+		class = obs.MissReplacement
 	default:
 		// Present-history block missing without invalidation or
 		// replacement: a fill consumed while invalidated-in-flight;
 		// attribute to coherence.
 		n.st.CoherenceMisses++
+		n.met.MissCoherence.Inc()
+		class = obs.MissCoherence
 	}
+	m.trace(obs.EvMiss, n, at, uint64(b), class)
 }

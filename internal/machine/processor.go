@@ -5,6 +5,7 @@ import (
 
 	"prefetchsim/internal/cache"
 	"prefetchsim/internal/mem"
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/prefetch"
 	"prefetchsim/internal/sim"
 	"prefetchsim/internal/trace"
@@ -113,6 +114,7 @@ func (m *Machine) runBatch(n *node) {
 			admit := n.flwb.AdmitAt(at)
 			if admit > at {
 				n.st.WriteStall += admit - at
+				n.met.FLWBWait.Observe(int64(admit - at))
 			}
 			t = admit + 1
 			slcStart := n.slcRes.Acquire(admit+1, SLCCycle)
@@ -193,6 +195,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 	if present && line.Prefetched {
 		n.slc.ClearPrefetched(b)
 		n.st.PrefetchesUseful++
+		n.met.PrefUseful.Inc()
 		consumed = true
 	}
 
@@ -226,11 +229,13 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 			n.st.PrefetchesMerged++
 			n.st.PrefetchesUseful++
 			n.st.DelayedHits++
+			n.met.PrefUseful.Inc()
+			n.met.PrefLate.Inc()
 		} else {
 			// Merging with an ownership acquisition or another demand
 			// request: still a read miss.
 			n.st.ReadMisses++
-			m.classifyMiss(n, b)
+			m.classifyMiss(n, b, issue)
 			if m.cfg.MissObserver != nil {
 				m.cfg.MissObserver(n.id, op.PC, addr)
 			}
@@ -240,7 +245,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 		return false
 	}
 	n.st.ReadMisses++
-	m.classifyMiss(n, b)
+	m.classifyMiss(n, b, issue)
 	if m.cfg.MissObserver != nil {
 		m.cfg.MissObserver(n.id, op.PC, addr)
 	}
@@ -299,6 +304,8 @@ func (m *Machine) emitPrefetch(n *node, pb mem.Block) {
 		return
 	}
 	n.st.PrefetchesIssued++
+	n.met.PrefIssued.Inc()
+	m.trace(obs.EvPrefetch, n, n.pfTime, uint64(pb), 0)
 	m.sendReadTx(n, pb, true, n.pfTime)
 }
 
@@ -315,6 +322,7 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 	admit := n.flwb.AdmitAt(issue)
 	if admit > issue {
 		n.st.WriteStall += admit - issue
+		n.met.FLWBWait.Observe(int64(admit - issue))
 	}
 	n.time = admit + 1
 
@@ -329,6 +337,7 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 		// A store consumes the prefetched block too.
 		n.slc.ClearPrefetched(b)
 		n.st.PrefetchesUseful++
+		n.met.PrefUseful.Inc()
 	}
 	if present && line.State == cache.Modified {
 		// Exclusive: the write performs locally.

@@ -7,6 +7,7 @@ import (
 	"prefetchsim/internal/coherence"
 	"prefetchsim/internal/mem"
 	"prefetchsim/internal/network"
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/sim"
 )
 
@@ -37,6 +38,7 @@ func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time,
 	n.pending.Put(b, tx)
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
+		n.slwbSet()
 		m.dispatchReadTx(n, b, tx, t)
 		return
 	}
@@ -115,6 +117,7 @@ func (m *Machine) ownerDowngrade(own *node, b mem.Block) (sim.Time, bool) {
 // invalidate it (a write by another node). Returns the supply time.
 func (m *Machine) ownerInvalidate(own *node, b mem.Block) sim.Time {
 	t := own.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
+	m.trace(obs.EvInvalidate, own, t, uint64(b), 0)
 	if line, ok := own.slc.Invalidate(b); ok {
 		if line.State != cache.Modified {
 			panic(fmt.Sprintf("machine: owner-invalidate at node %d for %v block", own.id, line.State))
@@ -134,6 +137,7 @@ func (m *Machine) ownerInvalidate(own *node, b mem.Block) sim.Time {
 // the read stall against the transaction's issue time.
 func (m *Machine) resumeDemand(n *node, tx *pendingTx, t sim.Time) {
 	n.st.ReadStall += t - tx.issue - FLCHit
+	n.met.ReadMissStall.Observe(int64(t - tx.issue - FLCHit))
 	n.time = t
 	m.scheduleStep(n)
 }
@@ -149,6 +153,7 @@ func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coheren
 	slcStart := n.slcRes.Acquire(t, SLCCycle)
 	done := slcStart + SLCCycle
 
+	m.trace(obs.EvAck, n, done, uint64(b), obs.AckReadFill)
 	tag := tx.prefetch && !tx.demand && !tx.invalidated
 	victim := n.slc.Insert(b, cache.Shared, tag)
 	m.handleVictim(n, victim, done)
@@ -192,6 +197,7 @@ func (m *Machine) startWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
 	n.pending.Put(b, tx)
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
+		n.slwbSet()
 		m.dispatchWriteTx(n, b, tx, t)
 		return
 	}
@@ -298,6 +304,7 @@ func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coher
 	slcStart := n.slcRes.Acquire(t, SLCCycle)
 	done := slcStart + SLCCycle
 
+	m.trace(obs.EvAck, n, done, uint64(b), obs.AckWriteGrant)
 	victim := n.slc.Insert(b, cache.Modified, false)
 	m.handleVictim(n, victim, done)
 	h := n.hist.Ref(b)
@@ -329,6 +336,7 @@ func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coher
 // is marked so the block is consumed once but not cached.
 func (m *Machine) applyInv(n *node, b mem.Block) sim.Time {
 	t := n.slcRes.Acquire(m.eng.Now(), SLCCycle) + SLCCycle
+	m.trace(obs.EvInvalidate, n, t, uint64(b), 0)
 	if _, ok := n.slc.Invalidate(b); ok {
 		n.flc.Invalidate(b)
 		*n.hist.Ref(b) |= hInv

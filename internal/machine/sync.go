@@ -58,6 +58,7 @@ func (m *Machine) grantLock(home int, n *node, issue, t sim.Time) {
 	m.eng.At(arrive, func() {
 		now := m.eng.Now()
 		n.st.SyncStall += now - issue
+		n.met.LockWait.Observe(int64(now - issue))
 		n.time = now + 1
 		m.scheduleStep(n)
 	})
@@ -158,6 +159,7 @@ func (m *Machine) sendBarrierArrive(n *node, episode uint64, issue sim.Time) {
 			m.eng.At(grantArrive, func() {
 				now := m.eng.Now()
 				w.n.st.SyncStall += now - w.issue
+				w.n.met.BarrierWait.Observe(int64(now - w.issue))
 				w.n.time = now + 1
 				m.scheduleStep(w.n)
 			})

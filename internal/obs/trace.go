@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The event tracer: a fixed ring of plain event structs written on the
+// hot path (no allocation, no I/O, optional 1-in-N sampling) and
+// serialized as JSONL once, when the run flushes it. A full ring
+// overwrites its oldest events — the trace keeps the tail of the run —
+// and the drop count is reported in the summary so a truncated trace
+// is never mistaken for a complete one.
+
+// EventKind classifies one traced simulation event.
+type EventKind uint8
+
+const (
+	// EvMiss is a demand SLC read miss; Arg carries the MissClass.
+	EvMiss EventKind = iota
+	// EvPrefetch is a prefetch issued to the memory system.
+	EvPrefetch
+	// EvInvalidate is an invalidation applied at a sharer or owner.
+	EvInvalidate
+	// EvAck is a transaction completion at the requester; Arg carries
+	// the AckKind.
+	EvAck
+
+	numEventKinds
+)
+
+// Miss classes carried in an EvMiss event's Arg (§5.1, §5.3).
+const (
+	MissCold uint8 = iota
+	MissCoherence
+	MissReplacement
+)
+
+// Ack kinds carried in an EvAck event's Arg.
+const (
+	// AckReadFill is read data applied at the requester.
+	AckReadFill uint8 = iota
+	// AckWriteGrant is an ownership grant applied at the requester.
+	AckWriteGrant
+)
+
+var eventKindNames = [numEventKinds]string{"miss", "prefetch", "invalidate", "ack"}
+
+// String returns the kind's JSONL name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one traced simulation event. Time is virtual (pclocks);
+// Block is the cache-block number; Arg is kind-specific.
+type Event struct {
+	T     int64
+	Block uint64
+	Node  int32
+	Kind  EventKind
+	Arg   uint8
+}
+
+// TraceConfig configures a Tracer.
+type TraceConfig struct {
+	// W receives the JSONL trace when Flush runs. nil discards the
+	// events (the summary counters still work).
+	W io.Writer
+	// Cap is the ring capacity in events (default 1<<16). When the
+	// ring wraps, the oldest events are overwritten.
+	Cap int
+	// Sample keeps one in Sample events (default 1 = keep all). The
+	// first event of every group of Sample is kept, deterministically.
+	Sample int
+}
+
+// TraceSummary reports what a tracer saw and kept.
+type TraceSummary struct {
+	// Seen counts every event offered to the tracer.
+	Seen uint64 `json:"seen"`
+	// Kept counts events in the ring at flush time.
+	Kept uint64 `json:"kept"`
+	// Dropped counts sampled-in events overwritten by ring wrap-around.
+	Dropped uint64 `json:"dropped"`
+	// Sampled counts events discarded by 1-in-N sampling.
+	Sampled uint64 `json:"sampled"`
+}
+
+// Tracer records simulation events into a preallocated ring. All
+// methods are single-goroutine, like the instruments; Emit allocates
+// nothing and performs no I/O.
+type Tracer struct {
+	w      io.Writer
+	ring   []Event
+	next   int
+	stored uint64 // events written into the ring (pre-wrap-accounting)
+	seen   uint64
+	sample int
+	skip   int
+}
+
+// NewTracer builds a tracer from cfg, applying defaults.
+func NewTracer(cfg TraceConfig) *Tracer {
+	if cfg.Cap <= 0 {
+		cfg.Cap = 1 << 16
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = 1
+	}
+	return &Tracer{w: cfg.W, ring: make([]Event, cfg.Cap), sample: cfg.Sample}
+}
+
+// Emit records one event (subject to sampling and ring capacity).
+func (t *Tracer) Emit(kind EventKind, node int, at int64, block uint64, arg uint8) {
+	t.seen++
+	if t.skip > 0 {
+		t.skip--
+		return
+	}
+	t.skip = t.sample - 1
+	t.ring[t.next] = Event{T: at, Block: block, Node: int32(node), Kind: kind, Arg: arg}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	t.stored++
+}
+
+// Summary returns the tracer's counters.
+func (t *Tracer) Summary() TraceSummary {
+	kept := t.stored
+	if max := uint64(len(t.ring)); kept > max {
+		kept = max
+	}
+	return TraceSummary{
+		Seen:    t.seen,
+		Kept:    kept,
+		Dropped: t.stored - kept,
+		Sampled: t.seen - t.stored,
+	}
+}
+
+// Events returns the ring's events in chronological order (oldest
+// kept event first). The returned slice is freshly allocated.
+func (t *Tracer) Events() []Event {
+	if t.stored <= uint64(len(t.ring)) {
+		return append([]Event(nil), t.ring[:t.stored]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Flush serializes the kept events as JSONL to the configured writer
+// (one object per line, chronological). With no writer it is a no-op.
+// Flush may be called once, after the simulation completes.
+func (t *Tracer) Flush() error {
+	if t.w == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 96)
+	for _, e := range t.Events() {
+		buf = buf[:0]
+		buf = append(buf, `{"t":`...)
+		buf = strconv.AppendInt(buf, e.T, 10)
+		buf = append(buf, `,"node":`...)
+		buf = strconv.AppendInt(buf, int64(e.Node), 10)
+		buf = append(buf, `,"kind":"`...)
+		buf = append(buf, e.Kind.String()...)
+		buf = append(buf, `","block":`...)
+		buf = strconv.AppendUint(buf, e.Block, 10)
+		buf = append(buf, `,"arg":`...)
+		buf = strconv.AppendUint(buf, uint64(e.Arg), 10)
+		buf = append(buf, '}', '\n')
+		if _, err := t.w.Write(buf); err != nil {
+			return fmt.Errorf("obs: trace flush: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerKeepsAll(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TraceConfig{W: &buf, Cap: 8})
+	tr.Emit(EvMiss, 3, 100, 42, MissCold)
+	tr.Emit(EvPrefetch, 3, 105, 43, 0)
+	tr.Emit(EvAck, 1, 250, 42, AckReadFill)
+
+	sum := tr.Summary()
+	if sum.Seen != 3 || sum.Kept != 3 || sum.Dropped != 0 || sum.Sampled != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("flushed %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	// Every line is a valid JSON object with the expected fields.
+	var first struct {
+		T     int64  `json:"t"`
+		Node  int32  `json:"node"`
+		Kind  string `json:"kind"`
+		Block uint64 `json:"block"`
+		Arg   uint8  `json:"arg"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v (%s)", err, lines[0])
+	}
+	if first.T != 100 || first.Node != 3 || first.Kind != "miss" || first.Block != 42 || first.Arg != MissCold {
+		t.Fatalf("line 0 = %+v", first)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(TraceConfig{Cap: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvMiss, 0, int64(i), uint64(i), 0)
+	}
+	sum := tr.Summary()
+	if sum.Seen != 10 || sum.Kept != 4 || sum.Dropped != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	// The ring keeps the tail of the run, in order.
+	for i, e := range evs {
+		if e.T != int64(6+i) {
+			t.Fatalf("event %d at t=%d, want %d", i, e.T, 6+i)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(TraceConfig{Cap: 64, Sample: 3})
+	for i := 0; i < 9; i++ {
+		tr.Emit(EvInvalidate, 0, int64(i), 0, 0)
+	}
+	sum := tr.Summary()
+	if sum.Seen != 9 || sum.Kept != 3 || sum.Sampled != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Deterministic: the first of every group of three is kept.
+	for i, e := range tr.Events() {
+		if e.T != int64(3*i) {
+			t.Fatalf("kept event %d at t=%d, want %d", i, e.T, 3*i)
+		}
+	}
+}
+
+func TestTracerNoWriterFlush(t *testing.T) {
+	tr := NewTracer(TraceConfig{Cap: 2})
+	tr.Emit(EvAck, 0, 1, 2, AckWriteGrant)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,24 @@ func Normalize(workers, jobs int) int {
 // done is strictly increasing, but with multiple workers the jobs
 // completing in between are not ordered.
 func Map[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), progress func(done, total int)) ([]R, []error) {
+	var each func(done, total, i int, r R, err error)
+	if progress != nil {
+		each = func(done, total, _ int, _ R, _ error) { progress(done, total) }
+	}
+	return MapEach(workers, jobs, fn, each)
+}
+
+// MapEach is Map with a richer completion hook: each, when non-nil,
+// runs as every job finishes with the completion count, the job total,
+// the finished job's index and its result or error. Calls are
+// serialized (they hold the pool's lock, so each must not itself
+// submit work) and done is strictly increasing, but with multiple
+// workers jobs complete in whatever order the workers finish — the
+// index i says which job this is. The returned slices are still in
+// submission order; each exists so sweeps can stream results (rows,
+// manifests, live metric totals) as they land instead of waiting for
+// the whole fan-out.
+func MapEach[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), each func(done, total, i int, r R, err error)) ([]R, []error) {
 	results := make([]R, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
@@ -67,8 +85,8 @@ func Map[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), prog
 		// Serial reference path: in order, on the calling goroutine.
 		for i, job := range jobs {
 			results[i], errs[i] = fn(i, job)
-			if progress != nil {
-				progress(i+1, len(jobs))
+			if each != nil {
+				each(i+1, len(jobs), i, results[i], errs[i])
 			}
 		}
 		return results, errs
@@ -96,8 +114,8 @@ func Map[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), prog
 				mu.Lock()
 				results[i], errs[i] = r, err
 				done++
-				if progress != nil {
-					progress(done, len(jobs))
+				if each != nil {
+					each(done, len(jobs), i, r, err)
 				}
 				mu.Unlock()
 			}

@@ -225,3 +225,57 @@ func TestCacheDistinctKeys(t *testing.T) {
 		t.Fatalf("cache holds %d keys, want 3", c.Len())
 	}
 }
+
+// TestMapEachCompletionHook: each sees every job exactly once with a
+// strictly increasing done count, the matching index and that job's
+// result or error — in both the serial and the parallel pool.
+func TestMapEachCompletionHook(t *testing.T) {
+	bad := errors.New("job 3")
+	for _, workers := range []int{1, 4} {
+		jobs := []int{10, 20, 30, 40, 50}
+		var (
+			mu       sync.Mutex
+			lastDone int
+			seen     = map[int]int{} // job index -> result reported to each
+			errAt    = -1
+		)
+		results, errs := MapEach(workers, jobs, func(i int, j int) (int, error) {
+			if i == 3 {
+				return 0, bad
+			}
+			return j * 2, nil
+		}, func(done, total, i int, r int, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != len(jobs) {
+				t.Errorf("workers=%d: total = %d, want %d", workers, total, len(jobs))
+			}
+			if done != lastDone+1 {
+				t.Errorf("workers=%d: done jumped %d -> %d", workers, lastDone, done)
+			}
+			lastDone = done
+			if _, dup := seen[i]; dup {
+				t.Errorf("workers=%d: job %d reported twice", workers, i)
+			}
+			seen[i] = r
+			if err != nil {
+				errAt = i
+			}
+		})
+		if lastDone != len(jobs) || len(seen) != len(jobs) {
+			t.Fatalf("workers=%d: each saw %d jobs (done=%d), want %d", workers, len(seen), lastDone, len(jobs))
+		}
+		if errAt != 3 || !errors.Is(errs[3], bad) {
+			t.Fatalf("workers=%d: error reported at %d (errs[3]=%v), want job 3", workers, errAt, errs[3])
+		}
+		for i, j := range jobs {
+			want := j * 2
+			if i == 3 {
+				want = 0
+			}
+			if results[i] != want || seen[i] != want {
+				t.Fatalf("workers=%d: job %d result %d / hook %d, want %d", workers, i, results[i], seen[i], want)
+			}
+		}
+	}
+}

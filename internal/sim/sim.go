@@ -13,8 +13,22 @@
 // scheduling it with Schedule (see internal/machine's event pool).
 package sim
 
+import "prefetchsim/internal/obs"
+
 // Time is a point in simulated time, in pclocks.
 type Time int64
+
+// EngineMetrics are the engine's observability instruments (see
+// internal/obs): attached with SetMetrics, updated with plain integer
+// arithmetic on every dispatch, and read only after the run (or from
+// the simulation's own goroutine).
+type EngineMetrics struct {
+	// Events counts dispatched events.
+	Events obs.Counter
+	// Queue tracks the pending-event queue depth, sampled at each
+	// dispatch; its high-water mark bounds the heap's working set.
+	Queue obs.Gauge
+}
 
 // Handler is a pre-allocated event callback. Fire runs when the
 // event's time arrives, with t the (now current) scheduled time.
@@ -58,7 +72,14 @@ type Engine struct {
 	// plain field read instead of a heap peek. Only meaningful while the
 	// queue is non-empty.
 	horizon Time
+	// met, when non-nil, receives per-dispatch observability updates.
+	met *EngineMetrics
 }
+
+// SetMetrics attaches the engine's observability instruments. The
+// caller owns the struct (typically embedded in its machine, so it
+// costs no allocation); nil detaches.
+func (e *Engine) SetMetrics(m *EngineMetrics) { e.met = m }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -182,6 +203,10 @@ func (e *Engine) Horizon() Time {
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
+	}
+	if e.met != nil {
+		e.met.Events.Inc()
+		e.met.Queue.Set(int64(len(e.queue)))
 	}
 	ev := e.pop()
 	e.now = ev.at

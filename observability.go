@@ -1,0 +1,114 @@
+package prefetchsim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"prefetchsim/internal/obs"
+)
+
+// Observability re-exports (internal/obs): metric snapshots, event
+// tracing and per-run provenance manifests. Collection is opt-in per
+// Config; the simulation's instruments themselves are always on and
+// allocation-free.
+type (
+	// MetricsSnapshot is a flat, name-sorted rendering of every
+	// instrument of a run ("engine.events", "node3.miss.cold", ...).
+	MetricsSnapshot = obs.Snapshot
+	// MetricSample is one named value of a MetricsSnapshot.
+	MetricSample = obs.Sample
+	// TraceConfig configures event tracing for one run.
+	TraceConfig = obs.TraceConfig
+	// TraceSummary reports what a run's tracer saw and kept.
+	TraceSummary = obs.TraceSummary
+	// Manifest is the provenance record of one run.
+	Manifest = obs.Manifest
+	// SweepManifest aggregates the manifests of one experiment sweep.
+	SweepManifest = obs.SweepManifest
+	// RunConfig is the manifest's flat view of a Config.
+	RunConfig = obs.RunConfig
+)
+
+// ManifestSchemaVersion is the manifest document version this build
+// writes (and the only one it reads).
+const ManifestSchemaVersion = obs.ManifestSchema
+
+// DigestRows is the canonical SHA-256 digest of a sweep's rendered
+// result rows (newline-terminated lines, as in StatsDigest).
+func DigestRows(rows []string) string { return obs.DigestStrings(rows) }
+
+func goVersion() string { return runtime.Version() }
+
+func gitSHA() string { return obs.GitSHA(".") }
+
+// ReadManifestFile loads a run manifest written by Manifest.WriteFile,
+// rejecting unknown schema versions.
+func ReadManifestFile(path string) (*Manifest, error) { return obs.ReadManifestFile(path) }
+
+// DecodeManifest parses one run manifest document.
+func DecodeManifest(r io.Reader) (*Manifest, error) { return obs.DecodeManifest(r) }
+
+// DecodeSweepManifest parses one sweep manifest document.
+func DecodeSweepManifest(r io.Reader) (*SweepManifest, error) { return obs.DecodeSweepManifest(r) }
+
+// StatsDigest renders the canonical SHA-256 digest of every statistic
+// of a run — the same per-node line format the golden determinism
+// tests pin, so a manifest's digest is directly comparable across
+// commits and machines.
+func StatsDigest(st *Stats) string {
+	lines := make([]string, 0, len(st.Nodes)+1)
+	for i := range st.Nodes {
+		lines = append(lines, fmt.Sprintf("node%d %+v", i, st.Nodes[i]))
+	}
+	lines = append(lines, fmt.Sprintf("machine msgs=%d flits=%d flithops=%d exec=%d",
+		st.NetMessages, st.NetFlits, st.NetFlitHops, st.ExecTime))
+	return obs.DigestStrings(lines)
+}
+
+// runConfig renders c (already defaulted) as a manifest config record
+// for a run of app.
+func (c Config) runConfig(app string) RunConfig {
+	return RunConfig{
+		App:                   app,
+		Scheme:                string(c.Scheme),
+		Degree:                c.Degree,
+		Processors:            c.Processors,
+		SLCBytes:              c.SLCBytes,
+		SLCWays:               c.SLCWays,
+		Scale:                 c.Scale,
+		Seed:                  c.Seed,
+		SequentialConsistency: c.SequentialConsistency,
+		BandwidthFactor:       c.BandwidthFactor,
+	}
+}
+
+// NewManifest builds the provenance record of a completed run: the
+// effective configuration, toolchain and source revision, wall and
+// virtual time, the canonical stats digest, and — when the run
+// collected them — machine-wide metric totals and the trace summary.
+func NewManifest(cfg Config, res *Result, wall time.Duration) *Manifest {
+	cfg = cfg.withDefaults()
+	// Config.App is the reproducible identifier; a custom Program has
+	// none, so its display name stands in.
+	app := cfg.App
+	if app == "" {
+		app = res.App
+	}
+	m := &Manifest{
+		Schema:        ManifestSchemaVersion,
+		GoVersion:     goVersion(),
+		GitSHA:        gitSHA(),
+		CreatedUnixNS: time.Now().UnixNano(),
+		Config:        cfg.runConfig(app),
+		WallNS:        wall.Nanoseconds(),
+		VirtualTime:   int64(res.Stats.ExecTime),
+		StatsDigest:   StatsDigest(res.Stats),
+		Trace:         res.TraceStats,
+	}
+	if len(res.Metrics) > 0 {
+		m.Metrics = res.Metrics.Totals()
+	}
+	return m
+}

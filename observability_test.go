@@ -1,0 +1,229 @@
+package prefetchsim
+
+// Tests for the observability layer's root-package contracts: tracing
+// must never perturb simulation results, metric totals must agree with
+// the statistics they mirror, manifests must survive a disk round
+// trip, and a parallel sweep's manifest recorder must be race-clean
+// while being read live.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// obsConfig is the small configuration every test here runs: matmul on
+// 4 processors, the golden-test machine.
+func obsConfig(scheme Scheme) Config {
+	return Config{App: "matmul", Scheme: scheme, Processors: 4, Seed: 12345}
+}
+
+// TestTraceDifferential is the acceptance check that tracing is purely
+// observational: a run with a tracer attached produces byte-identical
+// statistics to the same run without one.
+func TestTraceDifferential(t *testing.T) {
+	plain, err := Run(obsConfig(Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	cfg := obsConfig(Seq)
+	cfg.Trace = &TraceConfig{W: &buf}
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := StatsDigest(traced.Stats), StatsDigest(plain.Stats); got != want {
+		t.Fatalf("tracing changed the stats digest: %s != %s", got, want)
+	}
+	if !reflect.DeepEqual(traced.Stats, plain.Stats) {
+		t.Fatal("tracing changed the statistics")
+	}
+
+	sum := traced.TraceStats
+	if sum == nil || sum.Seen == 0 {
+		t.Fatalf("trace summary = %+v, want events", sum)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if uint64(len(lines)) != sum.Kept {
+		t.Fatalf("flushed %d JSONL lines, summary says kept %d", len(lines), sum.Kept)
+	}
+	for i, l := range lines[:min(len(lines), 3)] {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("trace line %d not JSON: %v (%s)", i, err, l)
+		}
+	}
+}
+
+// TestMetricsMatchStats pins the metric instruments to the statistics
+// they run alongside: the miss taxonomy, prefetch counters and engine
+// dispatch count must agree exactly.
+func TestMetricsMatchStats(t *testing.T) {
+	cfg := obsConfig(Seq)
+	cfg.CollectMetrics = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) == 0 {
+		t.Fatal("CollectMetrics produced no snapshot")
+	}
+	totals := res.Metrics.Totals()
+
+	var cold, coh, repl, issued, useful, misses int64
+	for i := range res.Stats.Nodes {
+		n := &res.Stats.Nodes[i]
+		cold += n.ColdMisses
+		coh += n.CoherenceMisses
+		repl += n.ReplacementMisses
+		issued += n.PrefetchesIssued
+		useful += n.PrefetchesUseful
+		misses += n.ReadMisses
+	}
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"node.miss.cold", cold},
+		{"node.miss.coherence", coh},
+		{"node.miss.replacement", repl},
+		{"node.prefetch.issued", issued},
+		{"node.prefetch.useful", useful},
+	} {
+		if got := totals[c.name]; got != c.want {
+			t.Errorf("%s = %d, want %d (stats)", c.name, got, c.want)
+		}
+	}
+	if got := totals["node.miss.cold"] + totals["node.miss.coherence"] + totals["node.miss.replacement"]; got != misses {
+		t.Errorf("miss classes sum to %d, stats count %d read misses", got, misses)
+	}
+	if totals["engine.events"] == 0 {
+		t.Error("engine.events = 0, want dispatched events")
+	}
+	if got, ok := res.Metrics.Get("node0.read.miss.stall.count"); !ok || got == 0 {
+		t.Errorf("node0.read.miss.stall.count = %d,%v, want observations", got, ok)
+	}
+}
+
+// TestManifestRoundTripFromRun writes the manifest of a real run to
+// disk, reads it back and requires deep equality — the write → parse →
+// deep-equal contract on live data rather than a synthetic document.
+func TestManifestRoundTripFromRun(t *testing.T) {
+	cfg := obsConfig(DDet)
+	cfg.CollectMetrics = true
+	cfg.Trace = &TraceConfig{Cap: 1 << 10, Sample: 4}
+	start := time.Now()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(cfg, res, time.Since(start))
+	if m.VirtualTime == 0 || m.StatsDigest == "" || len(m.Metrics) == 0 || m.Trace == nil {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	if m.Config.App != "matmul" || m.Config.Scheme != string(DDet) ||
+		m.Config.Processors != 4 || m.Config.Degree != 1 {
+		t.Fatalf("manifest config = %+v", m.Config)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("manifest diverged on disk:\ngot  %+v\nwant %+v", got, m)
+	}
+}
+
+// TestSweepManifestRecorder runs a parallel Figure 6 sweep with a
+// recorder attached — while a second goroutine polls the live totals —
+// and checks the aggregated sweep manifest: one run manifest per
+// scheme plus exactly one shared baseline, with rows digested. The
+// race detector covers the live reads.
+func TestSweepManifestRecorder(t *testing.T) {
+	rec := &ManifestRecorder{}
+	var rowsSeen int
+	o := ExpOptions{
+		Procs: 4, Apps: []string{"matmul"}, Seed: 12345, Workers: 2,
+		Record: rec,
+		OnRow:  func(done, total int, row fmt.Stringer) { rowsSeen++ },
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rec.Totals()
+				rec.Len()
+			}
+		}
+	}()
+	rows, err := Figure6(o)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rowsSeen != 3 {
+		t.Fatalf("rows = %d streamed = %d, want 3/3", len(rows), rowsSeen)
+	}
+
+	runs := rec.Runs()
+	if len(runs) != 4 {
+		t.Fatalf("recorded %d run manifests, want 4 (3 schemes + 1 shared baseline)", len(runs))
+	}
+	baselines := 0
+	for _, r := range runs {
+		if r.Config.Scheme == string(Baseline) {
+			baselines++
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("run %s/%s has no metric totals", r.Config.App, r.Config.Scheme)
+		}
+	}
+	if baselines != 1 {
+		t.Fatalf("recorded %d baseline runs, want the shared one exactly once", baselines)
+	}
+	if tot := rec.Totals(); tot["engine.events"] == 0 {
+		t.Error("sweep totals missing engine.events")
+	}
+
+	var rendered []string
+	for _, r := range rows {
+		rendered = append(rendered, r.String())
+	}
+	sm := rec.Sweep("figure6", []string{"-procs", "4"}, rendered, time.Second)
+	if sm.Rows != 3 || sm.RowsDigest != DigestRows(rendered) || len(sm.Runs) != 4 {
+		t.Fatalf("sweep manifest = %+v", sm)
+	}
+	var buf bytes.Buffer
+	if err := sm.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSweepManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sm) {
+		t.Fatal("sweep manifest round trip diverged")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"prefetchsim/internal/apps/workload"
 	"prefetchsim/internal/machine"
 	"prefetchsim/internal/mem"
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/prefetch"
 	"prefetchsim/internal/stats"
 	"prefetchsim/internal/trace"
@@ -180,6 +181,16 @@ type Config struct {
 	// CollectCharacteristics records processor 0's miss stream and
 	// attaches the Table 2/3 analysis to the result.
 	CollectCharacteristics bool
+
+	// CollectMetrics attaches a snapshot of every observability
+	// instrument (engine dispatch counters, per-node miss taxonomy,
+	// prefetch effectiveness, stall histograms) to the result.
+	CollectMetrics bool
+	// Trace, when non-nil, records a ring-buffered event trace
+	// (misses, prefetches, invalidations, acks); the summary is
+	// attached to the result and the JSONL flushes to Trace.W. Purely
+	// observational: results are byte-identical with or without it.
+	Trace *TraceConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -213,6 +224,11 @@ type Result struct {
 	// Sites breaks processor 0's misses down per load site (set
 	// together with Chars).
 	Sites []SiteStat
+	// Metrics is the name-sorted instrument snapshot when
+	// Config.CollectMetrics was set.
+	Metrics MetricsSnapshot
+	// TraceStats summarizes the event trace when Config.Trace was set.
+	TraceStats *TraceSummary
 }
 
 // newPrefetcher builds the per-node prefetch engine for a scheme.
@@ -282,9 +298,20 @@ func Run(cfg Config) (*Result, error) {
 		mcfg.MissObserver = col.Observe
 	}
 
+	var tr *obs.Tracer
+	if cfg.Trace != nil {
+		tr = obs.NewTracer(*cfg.Trace)
+		mcfg.Tracer = tr
+	}
+
 	m, err := machine.New(mcfg, prog)
 	if err != nil {
 		return nil, err
+	}
+	var reg *obs.Registry
+	if cfg.CollectMetrics {
+		reg = obs.NewRegistry()
+		m.BindMetrics(reg)
 	}
 	st, err := m.Run()
 	if err != nil {
@@ -296,6 +323,16 @@ func Run(cfg Config) (*Result, error) {
 		r := analysis.Analyze(col.Misses())
 		res.Chars = &r
 		res.Sites = analysis.BySite(col.Misses())
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
+	}
+	if tr != nil {
+		if err := tr.Flush(); err != nil {
+			return nil, err
+		}
+		s := tr.Summary()
+		res.TraceStats = &s
 	}
 	return res, nil
 }

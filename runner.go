@@ -2,6 +2,8 @@ package prefetchsim
 
 import (
 	"errors"
+	"sync"
+	"time"
 
 	"prefetchsim/internal/runner"
 )
@@ -30,6 +32,17 @@ func DefaultWorkers() int { return runner.DefaultWorkers() }
 func RunMany(cfgs []Config, workers int, progress func(done, total int)) ([]*Result, []error) {
 	return runner.Map(workers, cfgs, func(_ int, c Config) (*Result, error) {
 		return Run(c)
+	}, progress)
+}
+
+// RunManyRecorded is RunMany with a manifest recorder attached: every
+// configuration runs with metric collection forced, and rec receives
+// one provenance manifest per completed simulation (in completion
+// order) while the results come back in submission order as usual.
+func RunManyRecorded(cfgs []Config, workers int, rec *ManifestRecorder, progress func(done, total int)) ([]*Result, []error) {
+	o := ExpOptions{Record: rec}
+	return runner.Map(workers, cfgs, func(_ int, c Config) (*Result, error) {
+		return o.run(c)
 	}, progress)
 }
 
@@ -75,11 +88,82 @@ type baselineCache struct {
 }
 
 // get returns the baseline result for cfg, which must describe a
-// Baseline-scheme run (built-in app, no custom Program).
-func (b *baselineCache) get(cfg Config) (*Result, error) {
+// Baseline-scheme run (built-in app, no custom Program). The run
+// executes through o, so a sweep's manifest recorder sees each shared
+// baseline exactly once.
+func (b *baselineCache) get(o ExpOptions, cfg Config) (*Result, error) {
 	return b.cache.Do(baselineKeyFor(cfg), func() (*Result, error) {
-		return Run(cfg)
+		return o.run(cfg)
 	})
+}
+
+// ManifestRecorder collects one provenance manifest per simulation a
+// sweep executes, in completion order. Attach one with
+// ExpOptions.Record; it is safe for concurrent use, so one recorder
+// can span a whole parallel sweep (or several sweeps, as the tables
+// CLI does). Recording forces metric collection, so every manifest
+// carries the run's machine-wide metric totals.
+type ManifestRecorder struct {
+	mu   sync.Mutex
+	runs []Manifest
+}
+
+// record appends the manifest of one completed run.
+func (r *ManifestRecorder) record(cfg Config, res *Result, wall time.Duration) {
+	m := NewManifest(cfg, res, wall)
+	r.mu.Lock()
+	r.runs = append(r.runs, *m)
+	r.mu.Unlock()
+}
+
+// Len reports how many runs have completed so far — a live progress
+// signal during a sweep.
+func (r *ManifestRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+// Runs returns a copy of the recorded manifests, in completion order.
+func (r *ManifestRecorder) Runs() []Manifest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Manifest(nil), r.runs...)
+}
+
+// Totals sums the metric totals across every recorded run — a live,
+// sweep-wide metric snapshot that may be read while the sweep is still
+// running.
+func (r *ManifestRecorder) Totals() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := make(map[string]int64)
+	for i := range r.runs {
+		for k, v := range r.runs[i].Metrics {
+			t[k] += v
+		}
+	}
+	return t
+}
+
+// Sweep wraps the recorded runs into one sweep manifest for the given
+// invocation: the tool name and arguments, the rendered result rows
+// (digested so the sweep's output is pinned the way run stats are),
+// and the per-run manifests.
+func (r *ManifestRecorder) Sweep(tool string, args []string, rows []string, wall time.Duration) *SweepManifest {
+	m := &SweepManifest{
+		Schema:        ManifestSchemaVersion,
+		GoVersion:     goVersion(),
+		GitSHA:        gitSHA(),
+		CreatedUnixNS: time.Now().UnixNano(),
+		Tool:          tool,
+		Args:          args,
+		WallNS:        wall.Nanoseconds(),
+		Rows:          len(rows),
+		RowsDigest:    DigestRows(rows),
+		Runs:          r.Runs(),
+	}
+	return m
 }
 
 // gather collapses runner.Map's parallel (results, errs) slices into

@@ -13,27 +13,65 @@
 #   scripts/bench.sh after.json base.json merged.json
 #                      # also merge base/after into a benchstat-style
 #                      # before/after/delta record via cmd/benchdelta
+#   scripts/bench.sh -q quick.json               # micro benchmarks only
+#
+# Environment:
+#   BENCH_OUT     output file (overridden by the first positional arg;
+#                 default bench_results.json)
+#   BENCH_BEFORE  baseline file to merge against (second positional arg)
+#   BENCH_MERGED  merged record path (third positional arg;
+#                 default bench_delta.json)
+#   BENCH_QUICK   non-empty = micro benchmarks only, shorter benchtime —
+#                 the subset CI gates against BENCH_3.json (same as -q)
 #
 # BENCH_2.json and BENCH_3.json in the repo root pair this script's
 # output on each PR base with its output after that PR's rework.
 set -euo pipefail
+
+die() { echo "bench.sh: $*" >&2; exit 1; }
+for tool in go awk grep; do
+  command -v "$tool" >/dev/null 2>&1 || die "required tool '$tool' not found in PATH"
+done
+
 cd "$(dirname "$0")/.."
-out="${1:-bench_results.json}"
-before="${2:-}"
-merged="${3:-}"
+
+quick="${BENCH_QUICK:-}"
+if [[ "${1:-}" == "-q" ]]; then
+  quick=1
+  shift
+fi
+out="${1:-${BENCH_OUT:-bench_results.json}}"
+before="${2:-${BENCH_BEFORE:-}}"
+merged="${3:-${BENCH_MERGED:-bench_delta.json}}"
+[[ -z "$before" || -f "$before" ]] || die "baseline file '$before' does not exist"
 
 run() { # pattern package benchtime
   go test -run '^$' -bench "$1" -benchtime "$3" -benchmem "$2" 2>&1 |
     grep -E '^Benchmark' || true
 }
 
-{
-  run 'Figure6Serial|SimulatorThroughput' . 1x
-  run 'EngineSchedule' ./internal/sim 2s
-  run 'BlockTable|StdlibMap' ./internal/blockmap 2s
-  run 'StreamNext' ./internal/trace 2s
-  run 'MeshSend' ./internal/network 2s
-} | awk '
+bench_all() {
+  if [[ -z "$quick" ]]; then
+    run 'Figure6Serial|SimulatorThroughput' . 1x
+    run 'EngineSchedule' ./internal/sim 2s
+    run 'BlockTable|StdlibMap' ./internal/blockmap 2s
+    run 'StreamNext' ./internal/trace 2s
+    run 'MeshSend' ./internal/network 2s
+  else
+    # Quick subset: the substrate micro-benchmarks at a shorter
+    # benchtime — minutes instead of tens of minutes, enough signal
+    # for CI's coarse (>25% ns/op) regression gate.
+    run 'EngineSchedule$' ./internal/sim 1s
+    run 'BlockTable$|BlockTableHits' ./internal/blockmap 1s
+    run 'StreamNext' ./internal/trace 1s
+    run 'MeshSend' ./internal/network 1s
+  fi
+}
+
+rows="$(bench_all)"
+[[ -n "$rows" ]] || die "no benchmark output captured (build failure above?)"
+
+printf '%s\n' "$rows" | awk '
 BEGIN { print "{"; first = 1 }
 {
   name = $1; sub(/-[0-9]+$/, "", name)
@@ -53,5 +91,5 @@ END { print "\n}" }
 echo "wrote $out"
 
 if [[ -n "$before" ]]; then
-  go run ./cmd/benchdelta -o "${merged:-bench_delta.json}" "$before" "$out"
+  go run ./cmd/benchdelta -o "$merged" "$before" "$out"
 fi
