@@ -14,6 +14,8 @@
 //	figure6 -consistency mp3d ocean
 //	figure6 -j 8                 # fan simulations across 8 workers
 //	figure6 -manifest fig6.json -metrics
+//	figure6 -stalls              # busy/read/write/sync stall decomposition
+//	figure6 -http :8080          # live status endpoint while running
 //
 // Simulations fan out across -j worker goroutines (default: all
 // cores); the rows are identical to a serial run regardless of -j.
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"prefetchsim"
+	"prefetchsim/internal/webstatus"
 )
 
 func main() {
@@ -49,6 +52,8 @@ func main() {
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	manifest := flag.String("manifest", "", "write the sweep's provenance manifest (JSON) to this file")
 	metrics := flag.Bool("metrics", false, "print sweep-wide metric totals")
+	stalls := flag.Bool("stalls", false, "print the execution-time stall decomposition (busy/read/write/sync) per app and scheme")
+	httpAddr := flag.String("http", "", "serve a live JSON status endpoint on this address while the runs execute")
 	flag.Parse()
 
 	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
@@ -56,14 +61,43 @@ func main() {
 		opt.Apps = args
 	}
 	var rec *prefetchsim.ManifestRecorder
-	if *manifest != "" || *metrics {
+	if *manifest != "" || *metrics || *httpAddr != "" {
 		rec = &prefetchsim.ManifestRecorder{}
 		opt.Record = rec
+	}
+	if *httpAddr != "" {
+		var prog webstatus.Progress
+		opt.Progress = prog.Set
+		srv, err := webstatus.Serve(*httpAddr, func() webstatus.Status {
+			done, total, rows := prog.Snapshot()
+			runs, totals := rec.Status()
+			return webstatus.Status{
+				Tool: "figure6", Done: done, Total: total,
+				Rows: rows, Runs: runs, Metrics: totals,
+			}
+		})
+		exitOn(err)
+		defer srv.Close()
+		opt.OnRow = func(done, total int, row fmt.Stringer) { prog.Row() }
+		fmt.Fprintf(os.Stderr, "figure6: status endpoint on http://%s/status\n", srv.Addr())
 	}
 	start := time.Now()
 	var rendered []string
 
 	switch {
+	case *stalls:
+		fmt.Println("Execution-time stall decomposition (fractions of summed per-node time)")
+		rows, err := prefetchsim.StallBreakdown(opt)
+		exitOn(err)
+		rendered = render(rows)
+		prev := ""
+		for _, r := range rows {
+			if r.App != prev && prev != "" {
+				fmt.Println()
+			}
+			prev = r.App
+			fmt.Println(" ", r)
+		}
 	case *bandwidth != "":
 		fs, err := ints(*bandwidth)
 		exitOn(err)

@@ -7,6 +7,7 @@
 //	prefetchsim -app ocean -scheme I-det -slc 16384 -chars
 //	prefetchsim -app lu -scheme Seq -manifest run.json -metrics
 //	prefetchsim -app mp3d -trace events.jsonl -trace-sample 16
+//	prefetchsim -app ocean -scheme Seq -spans spans.jsonl -timeline tl.jsonl
 package main
 
 import (
@@ -34,6 +35,11 @@ func main() {
 	manifest := flag.String("manifest", "", "write the run's provenance manifest (JSON) to this file")
 	trace := flag.String("trace", "", "write a JSONL event trace (misses, prefetches, invalidations, acks) to this file")
 	traceSample := flag.Int("trace-sample", 1, "keep one in N traced events")
+	spans := flag.String("spans", "", "write transaction/stall spans as JSONL to this file (analyze with traceview)")
+	spanSample := flag.Int("span-sample", 1, "keep one in N raw spans (aggregates stay exact)")
+	spanCap := flag.Int("span-cap", 0, "raw-span ring capacity (0 = default)")
+	timeline := flag.String("timeline", "", "write the windowed time-series as JSONL to this file")
+	timelineWindow := flag.Int64("timeline-window", 10000, "timeline window in pclocks")
 	metrics := flag.Bool("metrics", false, "print the run's metric snapshot")
 	pf := prof.Register()
 	flag.Parse()
@@ -82,6 +88,20 @@ func main() {
 		traceFile = f
 		cfg.Trace = &prefetchsim.TraceConfig{W: f, Sample: *traceSample}
 	}
+	var spanFile *os.File
+	if *spans != "" {
+		f, err := os.Create(*spans)
+		exitOn(err)
+		spanFile = f
+		cfg.Spans = &prefetchsim.SpanConfig{W: f, Cap: *spanCap, Sample: *spanSample}
+	}
+	var timelineFile *os.File
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		exitOn(err)
+		timelineFile = f
+		cfg.Timeline = &prefetchsim.TimelineConfig{Window: *timelineWindow, W: f}
+	}
 
 	start := time.Now()
 	res, err := prefetchsim.Run(cfg)
@@ -109,6 +129,33 @@ func main() {
 			fmt.Printf("trace: %d events seen, %d kept, %d dropped -> %s\n",
 				sum.Seen, sum.Kept, sum.Dropped, *trace)
 		}
+	}
+	if spanFile != nil {
+		exitOn(spanFile.Close())
+		if sum := res.SpanTrace; sum != nil {
+			fmt.Printf("spans: %d seen, %d kept, %d dropped -> %s\n",
+				sum.Seen, sum.Kept, sum.Dropped, *spans)
+		}
+		if st := res.Spans; st != nil {
+			fmt.Println("span classes:")
+			for c := prefetchsim.SpanClass(0); c < prefetchsim.NumSpanClasses; c++ {
+				cs := st.Class(c)
+				if cs.Count == 0 {
+					continue
+				}
+				fmt.Printf("  %-16s count %8d  mean %8.1f  wait %12d\n",
+					c, cs.Count, float64(cs.TotalPclocks)/float64(cs.Count), cs.WaitPclocks)
+			}
+			if st.IdleCount > 0 {
+				fmt.Printf("  prefetch fill-to-use idle: %d consumed, mean %.1f pclocks\n",
+					st.IdleCount, float64(st.IdlePclocks)/float64(st.IdleCount))
+			}
+		}
+	}
+	if timelineFile != nil {
+		exitOn(timelineFile.Close())
+		fmt.Printf("timeline: %d windows of %d pclocks -> %s\n",
+			len(res.Timeline), *timelineWindow, *timeline)
 	}
 	if *manifest != "" {
 		m := prefetchsim.NewManifest(cfg, res, wall)

@@ -24,6 +24,7 @@ import (
 
 	"prefetchsim"
 	"prefetchsim/internal/prof"
+	"prefetchsim/internal/webstatus"
 )
 
 var header = []string{
@@ -80,8 +81,9 @@ func (s spec) configs() []prefetchsim.Config {
 // skipped; the remaining rows are still written. It returns the number
 // of data rows written, the number of failed configurations and the
 // rendered rows (for the sweep manifest's digest). rec, when non-nil,
-// receives one provenance manifest per simulation.
-func sweep(s spec, w, errw io.Writer, rec *prefetchsim.ManifestRecorder) (rows, failed int, rendered []string, err error) {
+// receives one provenance manifest per simulation; progress, when
+// non-nil, is called after each simulation with (done, total).
+func sweep(s spec, w, errw io.Writer, rec *prefetchsim.ManifestRecorder, progress func(done, total int)) (rows, failed int, rendered []string, err error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
 		return 0, 0, nil, err
@@ -90,9 +92,9 @@ func sweep(s spec, w, errw io.Writer, rec *prefetchsim.ManifestRecorder) (rows, 
 	var results []*prefetchsim.Result
 	var errs []error
 	if rec != nil {
-		results, errs = prefetchsim.RunManyRecorded(cfgs, s.workers, rec, nil)
+		results, errs = prefetchsim.RunManyRecorded(cfgs, s.workers, rec, progress)
 	} else {
-		results, errs = prefetchsim.RunMany(cfgs, s.workers, nil)
+		results, errs = prefetchsim.RunMany(cfgs, s.workers, progress)
 	}
 	for i, res := range results {
 		if errs[i] != nil {
@@ -125,6 +127,7 @@ func main() {
 	out := flag.String("o", "", "output CSV file (default stdout)")
 	manifest := flag.String("manifest", "", "write the sweep's provenance manifest (JSON) to this file")
 	metrics := flag.Bool("metrics", false, "print sweep-wide metric totals on stderr")
+	httpAddr := flag.String("http", "", "serve a live JSON status endpoint on this address (e.g. :8080) while the sweep runs")
 	pf := prof.Register()
 	flag.Parse()
 
@@ -152,11 +155,27 @@ func main() {
 		workers: *workers,
 	}
 	var rec *prefetchsim.ManifestRecorder
-	if *manifest != "" || *metrics {
+	if *manifest != "" || *metrics || *httpAddr != "" {
 		rec = &prefetchsim.ManifestRecorder{}
 	}
+	var progress func(done, total int)
+	if *httpAddr != "" {
+		var prog webstatus.Progress
+		progress = prog.Set
+		srv, err := webstatus.Serve(*httpAddr, func() webstatus.Status {
+			done, total, _ := prog.Snapshot()
+			runs, totals := rec.Status()
+			return webstatus.Status{
+				Tool: "sweep", Done: done, Total: total,
+				Rows: done, Runs: runs, Metrics: totals,
+			}
+		})
+		exitOn(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: status endpoint on http://%s/status\n", srv.Addr())
+	}
 	start := time.Now()
-	rows, failed, rendered, err := sweep(s, w, os.Stderr, rec)
+	rows, failed, rendered, err := sweep(s, w, os.Stderr, rec, progress)
 	exitOn(err)
 	exitOn(pf.Stop())
 	if *out != "" {

@@ -27,7 +27,7 @@ func testSpec() spec {
 func TestSweepCSVRoundTrip(t *testing.T) {
 	var out, errs bytes.Buffer
 	rec := &prefetchsim.ManifestRecorder{}
-	rows, failed, rendered, err := sweep(testSpec(), &out, &errs, rec)
+	rows, failed, rendered, err := sweep(testSpec(), &out, &errs, rec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestSweepBadAppCompletesRest(t *testing.T) {
 	s.degrees = []int{1}
 	s.slcs = []int{0}
 	var out, errs bytes.Buffer
-	rows, failed, _, err := sweep(s, &out, &errs, nil)
+	rows, failed, _, err := sweep(s, &out, &errs, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +114,11 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	s := testSpec()
 	var serial, parallel bytes.Buffer
 	s.workers = 1
-	if _, _, _, err := sweep(s, &serial, &bytes.Buffer{}, nil); err != nil {
+	if _, _, _, err := sweep(s, &serial, &bytes.Buffer{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.workers = 8
-	if _, _, _, err := sweep(s, &parallel, &bytes.Buffer{}, nil); err != nil {
+	if _, _, _, err := sweep(s, &parallel, &bytes.Buffer{}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {

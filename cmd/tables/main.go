@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"prefetchsim"
+	"prefetchsim/internal/webstatus"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	workers := flag.Int("j", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 	manifest := flag.String("manifest", "", "write the table's provenance manifest (JSON) to this file")
 	metrics := flag.Bool("metrics", false, "print table-wide metric totals")
+	httpAddr := flag.String("http", "", "serve a live JSON status endpoint on this address while the runs execute")
 	flag.Parse()
 
 	opt := prefetchsim.ExpOptions{Procs: *procs, Scale: *scale, Seed: *seed, Workers: *workers}
@@ -39,9 +41,24 @@ func main() {
 		opt.Apps = args
 	}
 	var rec *prefetchsim.ManifestRecorder
-	if *manifest != "" || *metrics {
+	if *manifest != "" || *metrics || *httpAddr != "" {
 		rec = &prefetchsim.ManifestRecorder{}
 		opt.Record = rec
+	}
+	if *httpAddr != "" {
+		var prog webstatus.Progress
+		opt.Progress = prog.Set
+		srv, err := webstatus.Serve(*httpAddr, func() webstatus.Status {
+			done, total, _ := prog.Snapshot()
+			runs, totals := rec.Status()
+			return webstatus.Status{
+				Tool: "tables", Done: done, Total: total,
+				Rows: done, Runs: runs, Metrics: totals,
+			}
+		})
+		exitOn(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tables: status endpoint on http://%s/status\n", srv.Addr())
 	}
 	start := time.Now()
 	var rendered []string

@@ -305,6 +305,73 @@ func figure6(o ExpOptions, slcBytes int, schemes ...Scheme) ([]Fig6Row, error) {
 	})
 }
 
+// StallRow is one app×scheme execution-time decomposition: the share
+// of aggregate processor time spent busy versus stalled on reads,
+// writes and synchronization — the stall split behind Figure 6's bars
+// (and the reference cmd/traceview reproduces from span data alone).
+type StallRow struct {
+	App    string
+	Scheme Scheme
+	// ExecTime is the machine execution time in pclocks.
+	ExecTime int64
+	// Busy, Read, Write and Sync are fractions of the summed per-node
+	// execution time.
+	Busy, Read, Write, Sync float64
+}
+
+func (r StallRow) String() string {
+	return fmt.Sprintf("%-9s %-8s busy %5.1f%%  read %5.1f%%  write %5.1f%%  sync %5.1f%%  exec %d",
+		r.App, r.Scheme, 100*r.Busy, 100*r.Read, 100*r.Write, 100*r.Sync, r.ExecTime)
+}
+
+// StallSplit computes one result's execution-time decomposition.
+func StallSplit(app string, s Scheme, res *Result) StallRow {
+	row := StallRow{App: app, Scheme: s, ExecTime: int64(res.Stats.ExecTime)}
+	var exec, read, write, syn int64
+	for i := range res.Stats.Nodes {
+		n := &res.Stats.Nodes[i]
+		exec += int64(n.ExecTime)
+		read += int64(n.ReadStall)
+		write += int64(n.WriteStall)
+		syn += int64(n.SyncStall)
+	}
+	if exec == 0 {
+		return row
+	}
+	row.Read = float64(read) / float64(exec)
+	row.Write = float64(write) / float64(exec)
+	row.Sync = float64(syn) / float64(exec)
+	row.Busy = 1 - row.Read - row.Write - row.Sync
+	return row
+}
+
+// StallBreakdown runs one decomposition row per app×scheme (schemes
+// default to Baseline plus the Figure 6 schemes, degree 1).
+func StallBreakdown(o ExpOptions, schemes ...Scheme) ([]StallRow, error) {
+	o = o.withDefaults()
+	if len(schemes) == 0 {
+		schemes = append([]Scheme{Baseline}, Schemes()...)
+	}
+	type job struct {
+		app    string
+		scheme Scheme
+	}
+	var jobs []job
+	for _, app := range o.Apps {
+		for _, s := range schemes {
+			jobs = append(jobs, job{app, s})
+		}
+	}
+	return mapRows(o, jobs, func(_ int, j job) (StallRow, error) {
+		res, err := o.run(Config{App: j.app, Scheme: j.scheme, Degree: 1,
+			Processors: o.Procs, Scale: o.Scale, Seed: o.Seed})
+		if err != nil {
+			return StallRow{}, err
+		}
+		return StallSplit(j.app, j.scheme, res), nil
+	})
+}
+
 func fig6Row(app string, s Scheme, base, res *Result) Fig6Row {
 	row := Fig6Row{App: app, Scheme: s, Efficiency: res.Stats.PrefetchEfficiency()}
 	if bm := base.Stats.TotalReadMisses(); bm > 0 {

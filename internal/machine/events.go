@@ -120,6 +120,9 @@ func (m *Machine) fireEv(c *ev, t sim.Time) {
 	case evHomeRead, evHomeWrite, evWriteback:
 		// Home-side transactions serialize per block on the directory
 		// entry; c waits (as coherence.Waiter) if one is in flight.
+		if m.sp != nil && c.tx != nil {
+			c.tx.span.Home = int64(t)
+		}
 		e := m.dir.Entry(c.b)
 		c.e = e
 		if e.AcquireWaiter(c) {
@@ -137,6 +140,9 @@ func (m *Machine) fireEv(c *ev, t sim.Time) {
 
 	case evReadWb:
 		done := m.mems[c.home].Access(t)
+		if m.sp != nil {
+			c.tx.span.Reply = int64(done)
+		}
 		e := c.e
 		e.State = coherence.SharedClean
 		e.ClearSharers()
@@ -195,6 +201,12 @@ func (m *Machine) fireEv(c *ev, t sim.Time) {
 // runHome executes a home-side transaction that holds its directory
 // entry, then recycles the event.
 func (m *Machine) runHome(c *ev) {
+	if m.sp != nil && c.tx != nil {
+		// Service begins: the gap back to the Home stamp is the time
+		// spent queued behind other transactions on this block's
+		// directory entry.
+		c.tx.span.Svc = int64(m.eng.Now())
+	}
 	switch c.kind {
 	case evHomeRead:
 		m.homeRead(c)

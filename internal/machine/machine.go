@@ -84,6 +84,17 @@ type Config struct {
 	// as the run executes (internal/obs). Purely observational: it
 	// changes no timing and no statistic.
 	Tracer *obs.Tracer
+	// Spans, if non-nil, receives one lifecycle record per completed
+	// memory-system transaction and per processor stall episode
+	// (internal/obs). The stamps live inside the pooled transaction
+	// records, so recording allocates nothing; like the tracer it is
+	// purely observational.
+	Spans *obs.SpanRecorder
+	// Timeline, if non-nil, receives a windowed snapshot of the
+	// instruments every Timeline.Window() pclocks of virtual time. The
+	// snapshot events ride the ordinary event queue and only read
+	// state, so statistics are unchanged.
+	Timeline *obs.Timeline
 }
 
 // DefaultConfig returns the paper's fixed architectural parameters
@@ -118,8 +129,14 @@ type Machine struct {
 	// engMet holds the engine's observability instruments (metrics.go);
 	// embedding them here keeps instrumentation allocation-free.
 	engMet sim.EngineMetrics
-	// tr is the optional event tracer from Config.Tracer.
+	// tr is the optional event tracer from Config.Tracer; sp and tl are
+	// the optional span recorder and timeline collector.
 	tr *obs.Tracer
+	sp *obs.SpanRecorder
+	tl *obs.Timeline
+	// tlFn is the cached timeline-tick closure (one per machine, so
+	// rescheduling the tick allocates nothing per window).
+	tlFn func()
 
 	// Stats accumulates results; valid after Run.
 	Stats *stats.Machine
@@ -151,6 +168,10 @@ type pendingTx struct {
 	// invalidated marks that an invalidation arrived while the data was
 	// in flight; the fill is consumed once and not cached.
 	invalidated bool
+	// span collects the transaction's lifecycle stamps when the machine
+	// has a span recorder (Config.Spans); embedded by value so stamping
+	// allocates nothing.
+	span obs.Span
 }
 
 // Block history flags for miss classification (§5.1, §5.3).
@@ -198,6 +219,12 @@ type node struct {
 
 	hist blockmap.Table[uint8]
 
+	// pfFill records (only when spans are collected) the fill time of
+	// each tagged, still-unconsumed prefetched block, for the
+	// fill-to-first-use idle measurement. A re-prefetch overwrites the
+	// stale entry, so consumption always sees the latest fill.
+	pfFill blockmap.Table[sim.Time]
+
 	// Scratch state for the prefetcher's issue callback: pfEmit is
 	// built once per node so OnRead allocates no closure per read;
 	// pfBlock/pfTime carry the triggering access (processor.go).
@@ -236,6 +263,8 @@ func New(cfg Config, prog *trace.Program) (*Machine, error) {
 	}
 	m.mesh.BandwidthFactor = cfg.BandwidthFactor
 	m.tr = cfg.Tracer
+	m.sp = cfg.Spans
+	m.tl = cfg.Timeline
 	m.eng.SetMetrics(&m.engMet)
 	for i := 0; i < cfg.Processors; i++ {
 		m.mems[i] = &memsys.Module{BandwidthFactor: cfg.BandwidthFactor}
@@ -280,6 +309,10 @@ func (m *Machine) Run() (*stats.Machine, error) {
 		n := n
 		m.eng.At(0, func() { m.stepNode(n) })
 	}
+	if m.tl != nil {
+		m.tlFn = func() { m.timelineTick() }
+		m.eng.At(sim.Time(m.tl.Window()), m.tlFn)
+	}
 	ran := m.eng.Run(m.cfg.MaxEvents)
 	if m.cfg.MaxEvents > 0 && ran >= m.cfg.MaxEvents {
 		return nil, fmt.Errorf("machine: exceeded %d events; likely livelock", m.cfg.MaxEvents)
@@ -307,6 +340,13 @@ func (m *Machine) finalize() {
 	m.Stats.NetMessages = m.mesh.Messages
 	m.Stats.NetFlits = m.mesh.Flits
 	m.Stats.NetFlitHops = m.mesh.FlitHops
+	if m.tl != nil {
+		// Close the final, possibly partial, window at the machine's
+		// execution time. Record drops this when the last tick already
+		// covered it — ticks ride the event queue, which can drain
+		// after the processors finish.
+		m.tl.Record(m.timePoint(max))
+	}
 }
 
 // home returns the home node of block b.
@@ -351,8 +391,10 @@ func (m *Machine) freeSLWB(n *node) {
 
 // classifyMiss attributes a demand read miss at time at to cold,
 // coherence or replacement (§5.1, §5.3), mirrors the class into the
-// node's metrics and traces it.
-func (m *Machine) classifyMiss(n *node, b mem.Block, at sim.Time) {
+// node's metrics and traces it. The returned span class (SpanMissCold/
+// SpanMissCoherence/SpanMissReplacement) lets the caller stamp the
+// servicing transaction's span.
+func (m *Machine) classifyMiss(n *node, b mem.Block, at sim.Time) obs.SpanClass {
 	h, _ := n.hist.Get(b)
 	var class uint8
 	switch {
@@ -377,4 +419,5 @@ func (m *Machine) classifyMiss(n *node, b mem.Block, at sim.Time) {
 		class = obs.MissCoherence
 	}
 	m.trace(obs.EvMiss, n, at, uint64(b), class)
+	return obs.SpanClass(class)
 }

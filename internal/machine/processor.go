@@ -115,6 +115,9 @@ func (m *Machine) runBatch(n *node) {
 			if admit > at {
 				n.st.WriteStall += admit - at
 				n.met.FLWBWait.Observe(int64(admit - at))
+				if m.sp != nil {
+					m.stallSpan(obs.SpanFLWB, n, uint64(mem.BlockOf(mem.Addr(op.Addr))), at, admit, admit-at)
+				}
 			}
 			t = admit + 1
 			slcStart := n.slcRes.Acquire(admit+1, SLCCycle)
@@ -196,6 +199,9 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 		n.slc.ClearPrefetched(b)
 		n.st.PrefetchesUseful++
 		n.met.PrefUseful.Inc()
+		if m.sp != nil {
+			m.consumePrefetchSpan(n, b, slcStart)
+		}
 		consumed = true
 	}
 
@@ -213,6 +219,9 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 		n.flc.Fill(b)
 		done := slcStart + SLCHitExtra
 		n.st.ReadStall += done - issue - FLCHit
+		if m.sp != nil {
+			m.stallSpan(obs.SpanSLCHit, n, uint64(b), issue, done, done-issue-FLCHit)
+		}
 		n.time = done
 		return true
 	}
@@ -235,7 +244,12 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 			// Merging with an ownership acquisition or another demand
 			// request: still a read miss.
 			n.st.ReadMisses++
-			m.classifyMiss(n, b, issue)
+			cls := m.classifyMiss(n, b, issue)
+			if m.sp != nil {
+				// The servicing transaction's span reports this miss's
+				// class (a pure write span becomes a miss span).
+				tx.span.Class = cls
+			}
 			if m.cfg.MissObserver != nil {
 				m.cfg.MissObserver(n.id, op.PC, addr)
 			}
@@ -245,7 +259,7 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 		return false
 	}
 	n.st.ReadMisses++
-	m.classifyMiss(n, b, issue)
+	cls := m.classifyMiss(n, b, issue)
 	if m.cfg.MissObserver != nil {
 		m.cfg.MissObserver(n.id, op.PC, addr)
 	}
@@ -259,13 +273,16 @@ func (m *Machine) doRead(n *node, op trace.Op) bool {
 			if tx, ok := n.pending.Get(b); ok {
 				tx.demand = true
 				tx.issue = issue
+				if m.sp != nil {
+					tx.span.Class = cls
+				}
 				return
 			}
-			m.startReadTx(n, b, false, t, true, issue)
+			m.startReadTx(n, b, false, t, true, issue, cls)
 		})
 		return false
 	}
-	m.startReadTx(n, b, false, missAt, true, issue)
+	m.startReadTx(n, b, false, missAt, true, issue, cls)
 	return false
 }
 
@@ -323,6 +340,9 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 	if admit > issue {
 		n.st.WriteStall += admit - issue
 		n.met.FLWBWait.Observe(int64(admit - issue))
+		if m.sp != nil {
+			m.stallSpan(obs.SpanFLWB, n, uint64(b), issue, admit, admit-issue)
+		}
 	}
 	n.time = admit + 1
 
@@ -338,10 +358,16 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 		n.slc.ClearPrefetched(b)
 		n.st.PrefetchesUseful++
 		n.met.PrefUseful.Inc()
+		if m.sp != nil {
+			m.consumePrefetchSpan(n, b, slcStart)
+		}
 	}
 	if present && line.State == cache.Modified {
 		// Exclusive: the write performs locally.
 		if m.cfg.SequentialConsistency && completion > n.time {
+			if m.sp != nil {
+				m.stallSpan(obs.SpanSCWrite, n, uint64(b), n.time, completion, completion-n.time)
+			}
 			n.st.WriteStall += completion - n.time
 			n.time = completion
 		}
@@ -382,6 +408,9 @@ func (m *Machine) doWrite(n *node, op trace.Op) bool {
 		}
 		n.drainWait = func(t sim.Time) {
 			n.st.WriteStall += t - issue
+			if m.sp != nil {
+				m.stallSpan(obs.SpanSCWrite, n, uint64(b), issue, t, t-issue)
+			}
 			n.time = t + 1
 			m.scheduleStep(n)
 		}

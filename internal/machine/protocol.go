@@ -30,11 +30,16 @@ import (
 // beforehand via trySLWB — and launches the read. For demand reads,
 // issue is the processor-side issue time the eventual fill charges the
 // read-stall against.
-func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, demand bool, issue sim.Time) {
+// cls is the span class of the demand miss being serviced (only
+// stamped when spans are collected).
+func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time, demand bool, issue sim.Time, cls obs.SpanClass) {
 	tx := m.newTx(txRead)
 	tx.prefetch = isPrefetch
 	tx.demand = demand
 	tx.issue = issue
+	if m.sp != nil {
+		tx.span = obs.Span{Issue: int64(issue), Block: uint64(b), Node: int32(n.id), Class: cls}
+	}
 	n.pending.Put(b, tx)
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
@@ -50,11 +55,17 @@ func (m *Machine) startReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time,
 func (m *Machine) sendReadTx(n *node, b mem.Block, isPrefetch bool, t sim.Time) {
 	tx := m.newTx(txRead)
 	tx.prefetch = isPrefetch
+	if m.sp != nil {
+		tx.span = obs.Span{Issue: int64(t), Block: uint64(b), Node: int32(n.id), Class: obs.SpanPrefetch}
+	}
 	n.pending.Put(b, tx)
 	m.dispatchReadTx(n, b, tx, t)
 }
 
 func (m *Machine) dispatchReadTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
+	if m.sp != nil {
+		tx.span.Req = int64(t)
+	}
 	home := m.home(b)
 	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
 	c := m.newEv(evHomeRead)
@@ -71,6 +82,9 @@ func (m *Machine) homeRead(c *ev) {
 	case coherence.Uncached, coherence.SharedClean:
 		// Memory responds directly (0 or 2 traversals).
 		done := m.mems[home].Access(t)
+		if m.sp != nil {
+			c.tx.span.Reply = int64(done)
+		}
 		e.State = coherence.SharedClean
 		e.AddSharer(n.id)
 		arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.DataFlits, done)
@@ -155,6 +169,9 @@ func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coheren
 
 	m.trace(obs.EvAck, n, done, uint64(b), obs.AckReadFill)
 	tag := tx.prefetch && !tx.demand && !tx.invalidated
+	if m.sp != nil {
+		m.completeReadSpan(n, tx, t, done, tag, b)
+	}
 	victim := n.slc.Insert(b, cache.Shared, tag)
 	m.handleVictim(n, victim, done)
 	h := n.hist.Ref(b)
@@ -194,6 +211,9 @@ func (m *Machine) finishReadFill(n *node, b mem.Block, tx *pendingTx, e *coheren
 func (m *Machine) startWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
 	tx := m.newTx(txWrite)
 	tx.writeRefs = refs
+	if m.sp != nil {
+		tx.span = obs.Span{Issue: int64(t), Block: uint64(b), Node: int32(n.id), Class: obs.SpanWrite}
+	}
 	n.pending.Put(b, tx)
 	if n.slwbUsed < m.cfg.SLWBEntries {
 		n.slwbUsed++
@@ -209,11 +229,17 @@ func (m *Machine) startWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
 func (m *Machine) sendWriteTx(n *node, b mem.Block, t sim.Time, refs int) {
 	tx := m.newTx(txWrite)
 	tx.writeRefs = refs
+	if m.sp != nil {
+		tx.span = obs.Span{Issue: int64(t), Block: uint64(b), Node: int32(n.id), Class: obs.SpanWrite}
+	}
 	n.pending.Put(b, tx)
 	m.dispatchWriteTx(n, b, tx, t)
 }
 
 func (m *Machine) dispatchWriteTx(n *node, b mem.Block, tx *pendingTx, t sim.Time) {
+	if m.sp != nil {
+		tx.span.Req = int64(t)
+	}
 	home := m.home(b)
 	arrive := m.mesh.Send(network.ReqPlane, n.id, home, network.CtrlFlits, t)
 	c := m.newEv(evHomeWrite)
@@ -227,6 +253,9 @@ func (m *Machine) dispatchWriteTx(n *node, b mem.Block, tx *pendingTx, t sim.Tim
 // is still a sharer needs no data). c itself is not consumed: callers
 // recycle it.
 func (m *Machine) sendWriteGrant(c *ev, done sim.Time, withData bool) {
+	if m.sp != nil {
+		c.tx.span.Reply = int64(done)
+	}
 	e := c.e
 	e.State = coherence.Dirty
 	e.Owner = c.n.id
@@ -305,6 +334,9 @@ func (m *Machine) finishWriteGrant(n *node, b mem.Block, tx *pendingTx, e *coher
 	done := slcStart + SLCCycle
 
 	m.trace(obs.EvAck, n, done, uint64(b), obs.AckWriteGrant)
+	if m.sp != nil {
+		m.completeTxSpan(tx, t, done)
+	}
 	victim := n.slc.Insert(b, cache.Modified, false)
 	m.handleVictim(n, victim, done)
 	h := n.hist.Ref(b)

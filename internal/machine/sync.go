@@ -5,6 +5,7 @@ import (
 
 	"prefetchsim/internal/mem"
 	"prefetchsim/internal/network"
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/sim"
 )
 
@@ -45,7 +46,7 @@ func (m *Machine) doAcquire(n *node, addr uint64) {
 		l := m.lock(addr)
 		if !l.held {
 			l.held = true
-			m.grantLock(home, n, issue, done)
+			m.grantLock(home, n, addr, issue, done)
 			return
 		}
 		l.queue = append(l.queue, lockWaiter{n: n, issue: issue})
@@ -53,12 +54,15 @@ func (m *Machine) doAcquire(n *node, addr uint64) {
 }
 
 // grantLock sends the grant back to the requester and resumes it.
-func (m *Machine) grantLock(home int, n *node, issue, t sim.Time) {
+func (m *Machine) grantLock(home int, n *node, addr uint64, issue, t sim.Time) {
 	arrive := m.mesh.Send(network.ReplyPlane, home, n.id, network.CtrlFlits, t)
 	m.eng.At(arrive, func() {
 		now := m.eng.Now()
 		n.st.SyncStall += now - issue
 		n.met.LockWait.Observe(int64(now - issue))
+		if m.sp != nil {
+			m.stallSpan(obs.SpanAcquire, n, addr, issue, now, now-issue)
+		}
 		n.time = now + 1
 		m.scheduleStep(n)
 	})
@@ -77,6 +81,9 @@ func (m *Machine) doRelease(n *node, addr uint64) bool {
 		}
 		n.drainWait = func(t sim.Time) {
 			n.st.SyncStall += t - issue
+			if m.sp != nil {
+				m.stallSpan(obs.SpanRelease, n, addr, issue, t, t-issue)
+			}
 			n.time = t
 			m.sendRelease(n, addr)
 			n.time++
@@ -106,7 +113,7 @@ func (m *Machine) sendRelease(n *node, addr uint64) {
 		}
 		w := l.queue[0]
 		l.queue = l.queue[1:]
-		m.grantLock(home, w.n, w.issue, done)
+		m.grantLock(home, w.n, addr, w.issue, done)
 	})
 }
 
@@ -160,6 +167,9 @@ func (m *Machine) sendBarrierArrive(n *node, episode uint64, issue sim.Time) {
 				now := m.eng.Now()
 				w.n.st.SyncStall += now - w.issue
 				w.n.met.BarrierWait.Observe(int64(now - w.issue))
+				if m.sp != nil {
+					m.stallSpan(obs.SpanBarrier, w.n, episode, w.issue, now, now-w.issue)
+				}
 				w.n.time = now + 1
 				m.scheduleStep(w.n)
 			})

@@ -54,6 +54,12 @@ type Manifest struct {
 	Metrics map[string]int64 `json:"metrics,omitempty"`
 	// Trace summarizes the event trace, when one was recorded.
 	Trace *TraceSummary `json:"trace,omitempty"`
+	// Spans summarizes the transaction-span recording, when one was
+	// collected (ring counters + exact per-class aggregates).
+	Spans *SpanSummary `json:"spans,omitempty"`
+	// Timeline summarizes the windowed time-series, when one was
+	// collected.
+	Timeline *TimelineSummary `json:"timeline,omitempty"`
 }
 
 // SweepManifest aggregates one experiment sweep: the invocation, the

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The timeline collector: the machine snapshots its cumulative
+// instruments every W pclocks of virtual time; Timeline differences
+// consecutive snapshots into per-window deltas so a run emits a
+// time-series — references, miss classes, prefetch efficiency, stall
+// cycles, network traffic — instead of only end-of-run totals.
+// Occupancy gauges (SLWB) and the window-end timestamp are kept as
+// sampled instants, not differenced.
+
+// TimePoint is one timeline window. All counter fields are deltas over
+// the window; T is the window-end virtual time and SLWB is the
+// instantaneous summed write-buffer occupancy at T.
+type TimePoint struct {
+	T               int64 `json:"t"`
+	Reads           int64 `json:"reads"`
+	Writes          int64 `json:"writes"`
+	Misses          int64 `json:"misses"`
+	MissCold        int64 `json:"miss_cold"`
+	MissCoherence   int64 `json:"miss_coherence"`
+	MissReplacement int64 `json:"miss_replacement"`
+	PrefIssued      int64 `json:"pref_issued"`
+	PrefUseful      int64 `json:"pref_useful"`
+	PrefLate        int64 `json:"pref_late"`
+	ReadStall       int64 `json:"read_stall"`
+	WriteStall      int64 `json:"write_stall"`
+	SyncStall       int64 `json:"sync_stall"`
+	SLWB            int64 `json:"slwb"`
+	NetMsgs         int64 `json:"net_msgs"`
+	NetFlits        int64 `json:"net_flits"`
+	NetFlitHops     int64 `json:"net_flit_hops"`
+	Events          int64 `json:"events"`
+}
+
+// TimelineConfig configures a Timeline.
+type TimelineConfig struct {
+	// Window is the snapshot period in pclocks of virtual time
+	// (required; <= 0 disables collection).
+	Window int64
+	// W, when non-nil, receives the windows as JSONL at Flush.
+	W io.Writer
+}
+
+// TimelineSummary is the manifest view of a timeline recording.
+type TimelineSummary struct {
+	WindowPclocks int64 `json:"window_pclocks"`
+	Points        int   `json:"points"`
+}
+
+// Timeline accumulates windowed deltas of cumulative snapshots.
+// Single-goroutine; Record appends to a growing slice (amortized
+// allocation proportional to run length / window, never on the
+// event path itself beyond slice growth).
+type Timeline struct {
+	window  int64
+	points  []TimePoint
+	prev    TimePoint
+	flushed bool
+	w       io.Writer
+}
+
+// NewTimeline builds a timeline from cfg. It returns nil when the
+// window is not positive (collection disabled).
+func NewTimeline(cfg TimelineConfig) *Timeline {
+	if cfg.Window <= 0 {
+		return nil
+	}
+	return &Timeline{window: cfg.Window, w: cfg.W}
+}
+
+// Window returns the snapshot period in pclocks.
+func (tl *Timeline) Window() int64 { return tl.window }
+
+// Record ingests one cumulative snapshot taken at cum.T and appends
+// the delta window since the previous snapshot. T and SLWB pass
+// through as instants. A snapshot at or before the previous one's T is
+// ignored: the run ended exactly on a window boundary, or the
+// end-of-run snapshot (taken at processor completion time) landed
+// inside a window a later housekeeping event already closed.
+func (tl *Timeline) Record(cum TimePoint) {
+	if len(tl.points) > 0 && cum.T <= tl.prev.T {
+		return
+	}
+	d := TimePoint{
+		T:               cum.T,
+		Reads:           cum.Reads - tl.prev.Reads,
+		Writes:          cum.Writes - tl.prev.Writes,
+		Misses:          cum.Misses - tl.prev.Misses,
+		MissCold:        cum.MissCold - tl.prev.MissCold,
+		MissCoherence:   cum.MissCoherence - tl.prev.MissCoherence,
+		MissReplacement: cum.MissReplacement - tl.prev.MissReplacement,
+		PrefIssued:      cum.PrefIssued - tl.prev.PrefIssued,
+		PrefUseful:      cum.PrefUseful - tl.prev.PrefUseful,
+		PrefLate:        cum.PrefLate - tl.prev.PrefLate,
+		ReadStall:       cum.ReadStall - tl.prev.ReadStall,
+		WriteStall:      cum.WriteStall - tl.prev.WriteStall,
+		SyncStall:       cum.SyncStall - tl.prev.SyncStall,
+		SLWB:            cum.SLWB,
+		NetMsgs:         cum.NetMsgs - tl.prev.NetMsgs,
+		NetFlits:        cum.NetFlits - tl.prev.NetFlits,
+		NetFlitHops:     cum.NetFlitHops - tl.prev.NetFlitHops,
+		Events:          cum.Events - tl.prev.Events,
+	}
+	tl.prev = cum
+	tl.points = append(tl.points, d)
+}
+
+// Points returns the recorded windows (live slice; callers must not
+// mutate).
+func (tl *Timeline) Points() []TimePoint { return tl.points }
+
+// Summarize builds the manifest view.
+func (tl *Timeline) Summarize() *TimelineSummary {
+	return &TimelineSummary{WindowPclocks: tl.window, Points: len(tl.points)}
+}
+
+// AppendJSON appends the window's JSONL object (no trailing newline).
+func (p *TimePoint) AppendJSON(buf []byte) []byte {
+	field := func(b []byte, name string, v int64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, name...)
+		b = append(b, '"', ':')
+		return strconv.AppendInt(b, v, 10)
+	}
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendInt(buf, p.T, 10)
+	buf = field(buf, "reads", p.Reads)
+	buf = field(buf, "writes", p.Writes)
+	buf = field(buf, "misses", p.Misses)
+	buf = field(buf, "miss_cold", p.MissCold)
+	buf = field(buf, "miss_coherence", p.MissCoherence)
+	buf = field(buf, "miss_replacement", p.MissReplacement)
+	buf = field(buf, "pref_issued", p.PrefIssued)
+	buf = field(buf, "pref_useful", p.PrefUseful)
+	buf = field(buf, "pref_late", p.PrefLate)
+	buf = field(buf, "read_stall", p.ReadStall)
+	buf = field(buf, "write_stall", p.WriteStall)
+	buf = field(buf, "sync_stall", p.SyncStall)
+	buf = field(buf, "slwb", p.SLWB)
+	buf = field(buf, "net_msgs", p.NetMsgs)
+	buf = field(buf, "net_flits", p.NetFlits)
+	buf = field(buf, "net_flit_hops", p.NetFlitHops)
+	buf = field(buf, "events", p.Events)
+	return append(buf, '}')
+}
+
+// Flush serializes the windows as JSONL to the configured writer,
+// draining exactly once (later calls write nothing and return nil).
+// With no writer it is a no-op.
+func (tl *Timeline) Flush() error {
+	if tl.flushed {
+		return nil
+	}
+	tl.flushed = true
+	if tl.w == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 384)
+	for i := range tl.points {
+		buf = tl.points[i].AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := tl.w.Write(buf); err != nil {
+			return fmt.Errorf("obs: timeline flush: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTimelineDisabled(t *testing.T) {
+	if tl := NewTimeline(TimelineConfig{}); tl != nil {
+		t.Fatal("zero window must disable the timeline")
+	}
+	if tl := NewTimeline(TimelineConfig{Window: -5}); tl != nil {
+		t.Fatal("negative window must disable the timeline")
+	}
+}
+
+func TestTimelineDeltas(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Window: 100})
+	tl.Record(TimePoint{T: 100, Reads: 50, Misses: 5, ReadStall: 40, SLWB: 3, NetFlits: 200})
+	tl.Record(TimePoint{T: 200, Reads: 120, Misses: 6, ReadStall: 90, SLWB: 1, NetFlits: 450})
+
+	pts := tl.Points()
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	// First window is the delta from zero.
+	if p := pts[0]; p.T != 100 || p.Reads != 50 || p.Misses != 5 || p.ReadStall != 40 {
+		t.Fatalf("window 0 = %+v", p)
+	}
+	// Second window differences the cumulative counters...
+	if p := pts[1]; p.Reads != 70 || p.Misses != 1 || p.ReadStall != 50 || p.NetFlits != 250 {
+		t.Fatalf("window 1 = %+v", p)
+	}
+	// ...but T and the SLWB occupancy gauge pass through as instants.
+	if pts[1].T != 200 || pts[1].SLWB != 1 || pts[0].SLWB != 3 {
+		t.Fatalf("instant fields differenced: %+v", pts)
+	}
+	if sum := tl.Summarize(); sum.WindowPclocks != 100 || sum.Points != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestTimelineBoundaryDedup: a final snapshot at the same T as the
+// last window (run ended exactly on a boundary) must not add an empty
+// duplicate window.
+func TestTimelineBoundaryDedup(t *testing.T) {
+	tl := NewTimeline(TimelineConfig{Window: 100})
+	tl.Record(TimePoint{T: 100, Reads: 10})
+	tl.Record(TimePoint{T: 100, Reads: 10})
+	if got := len(tl.Points()); got != 1 {
+		t.Fatalf("%d points, want 1", got)
+	}
+	// An end-of-run snapshot landing before the last closed window
+	// (events drained past processor completion) is dropped too.
+	tl.Record(TimePoint{T: 60, Reads: 8})
+	if got := len(tl.Points()); got != 1 {
+		t.Fatalf("%d points after backwards snapshot, want 1", got)
+	}
+	// A later final partial window still records.
+	tl.Record(TimePoint{T: 130, Reads: 14})
+	pts := tl.Points()
+	if len(pts) != 2 || pts[1].T != 130 || pts[1].Reads != 4 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestTimelineJSONAndDrainOnce(t *testing.T) {
+	var buf bytes.Buffer
+	tl := NewTimeline(TimelineConfig{Window: 10, W: &buf})
+	tl.Record(TimePoint{T: 10, Reads: 3, Writes: 1, PrefIssued: 2, Events: 9})
+	if err := tl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	if strings.Count(first, "\n") != 1 {
+		t.Fatalf("flush wrote %q, want one line", first)
+	}
+	var p TimePoint
+	if err := json.Unmarshal([]byte(first), &p); err != nil {
+		t.Fatalf("flushed line not JSON: %v (%s)", err, first)
+	}
+	if p.T != 10 || p.Reads != 3 || p.Writes != 1 || p.PrefIssued != 2 || p.Events != 9 {
+		t.Fatalf("round trip = %+v", p)
+	}
+	tl.Record(TimePoint{T: 20, Reads: 5})
+	if err := tl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Fatal("second Flush wrote more output")
+	}
+}

@@ -68,7 +68,9 @@ type Event struct {
 // TraceConfig configures a Tracer.
 type TraceConfig struct {
 	// W receives the JSONL trace when Flush runs. nil discards the
-	// events (the summary counters still work).
+	// events (the summary counters still work). Flush drains the ring
+	// exactly once: the first call writes the kept events, every later
+	// call writes nothing and returns nil.
 	W io.Writer
 	// Cap is the ring capacity in events (default 1<<16). When the
 	// ring wraps, the oldest events are overwritten.
@@ -94,13 +96,14 @@ type TraceSummary struct {
 // methods are single-goroutine, like the instruments; Emit allocates
 // nothing and performs no I/O.
 type Tracer struct {
-	w      io.Writer
-	ring   []Event
-	next   int
-	stored uint64 // events written into the ring (pre-wrap-accounting)
-	seen   uint64
-	sample int
-	skip   int
+	w       io.Writer
+	ring    []Event
+	next    int
+	stored  uint64 // events written into the ring (pre-wrap-accounting)
+	seen    uint64
+	sample  int
+	skip    int
+	flushed bool
 }
 
 // NewTracer builds a tracer from cfg, applying defaults.
@@ -156,9 +159,16 @@ func (t *Tracer) Events() []Event {
 }
 
 // Flush serializes the kept events as JSONL to the configured writer
-// (one object per line, chronological). With no writer it is a no-op.
-// Flush may be called once, after the simulation completes.
+// (one object per line, chronological). Flush drains the ring exactly
+// once: the second and later calls write nothing and return nil, so a
+// run that flushes both explicitly and in a deferred cleanup path does
+// not duplicate the trace. With no writer it is a no-op (but still
+// counts as the drain).
 func (t *Tracer) Flush() error {
+	if t.flushed {
+		return nil
+	}
+	t.flushed = true
 	if t.w == nil {
 		return nil
 	}

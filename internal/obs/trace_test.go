@@ -86,3 +86,100 @@ func TestTracerNoWriterFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTracerFlushDrainOnce: Flush writes the ring exactly once; later
+// calls write nothing and return nil, even after further Emits.
+func TestTracerFlushDrainOnce(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(TraceConfig{W: &buf, Cap: 8})
+	tr.Emit(EvMiss, 0, 1, 10, MissCold)
+	tr.Emit(EvMiss, 1, 2, 11, MissCold)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	if got := strings.Count(first, "\n"); got != 2 {
+		t.Fatalf("first flush wrote %d lines, want 2", got)
+	}
+	tr.Emit(EvMiss, 2, 3, 12, MissCold)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Fatalf("second Flush wrote more output:\n%q\nvs\n%q", buf.String(), first)
+	}
+}
+
+// TestTracerRingWrapSampled: with Sample > 1 AND a wrapped ring, the
+// summary's four counters must still account for every event:
+// Seen = Kept + Dropped + Sampled.
+func TestTracerRingWrapSampled(t *testing.T) {
+	tr := NewTracer(TraceConfig{Cap: 4, Sample: 3})
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.Emit(EvMiss, 0, int64(i), uint64(i), 0)
+	}
+	sum := tr.Summary()
+	// 100 seen, ceil(100/3) = 34 stored, 4 kept, 30 dropped, 66 sampled.
+	if sum.Seen != n {
+		t.Fatalf("Seen = %d, want %d", sum.Seen, n)
+	}
+	if sum.Kept != 4 {
+		t.Fatalf("Kept = %d, want 4", sum.Kept)
+	}
+	if sum.Sampled != 66 {
+		t.Fatalf("Sampled = %d, want 66", sum.Sampled)
+	}
+	if sum.Dropped != 30 {
+		t.Fatalf("Dropped = %d, want 30", sum.Dropped)
+	}
+	if sum.Kept+sum.Dropped+sum.Sampled != sum.Seen {
+		t.Fatalf("counters do not partition Seen: %+v", sum)
+	}
+	// The kept events are the newest stored samples (multiples of 3),
+	// still in chronological order.
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(3 * (30 + i)); e.T != want {
+			t.Fatalf("event %d at t=%d, want %d", i, e.T, want)
+		}
+	}
+}
+
+// TestTracerEventsExactCapacity: filling the ring to exactly Cap (no
+// wrap) must return every event in emit order — the stored == Cap
+// boundary between the unwrapped and wrapped Events paths.
+func TestTracerEventsExactCapacity(t *testing.T) {
+	const cap = 8
+	tr := NewTracer(TraceConfig{Cap: cap})
+	for i := 0; i < cap; i++ {
+		tr.Emit(EvMiss, 0, int64(i), uint64(i), 0)
+	}
+	sum := tr.Summary()
+	if sum.Seen != cap || sum.Kept != cap || sum.Dropped != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	evs := tr.Events()
+	if len(evs) != cap {
+		t.Fatalf("%d events, want %d", len(evs), cap)
+	}
+	for i, e := range evs {
+		if e.T != int64(i) {
+			t.Fatalf("event %d at t=%d, want %d", i, e.T, i)
+		}
+	}
+	// One more event wraps: the oldest drops, order holds.
+	tr.Emit(EvMiss, 0, cap, cap, 0)
+	evs = tr.Events()
+	if len(evs) != cap {
+		t.Fatalf("after wrap: %d events, want %d", len(evs), cap)
+	}
+	for i, e := range evs {
+		if e.T != int64(i+1) {
+			t.Fatalf("after wrap: event %d at t=%d, want %d", i, e.T, i+1)
+		}
+	}
+}

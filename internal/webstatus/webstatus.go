@@ -1,0 +1,98 @@
+// Package webstatus serves a sweep's live progress over HTTP: a tiny
+// status endpoint the long-running CLIs (sweep, figure6, tables) expose
+// behind their -http flag. The handler only reads a caller-supplied
+// snapshot function, so the sweep itself never blocks on a slow client.
+package webstatus
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Status is one live snapshot of a running sweep.
+type Status struct {
+	// Tool is the serving command's name.
+	Tool string `json:"tool"`
+	// Done and Total count sweep jobs (Total 0 = unknown).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Rows counts result rows emitted so far.
+	Rows int `json:"rows"`
+	// Runs counts recorded per-run manifests (including shared
+	// baselines), when a ManifestRecorder is attached.
+	Runs int `json:"runs"`
+	// Metrics is the current sweep-wide metric-total snapshot.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// StartUnixNS and UptimeNS situate the snapshot in wall time.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	UptimeNS    int64 `json:"uptime_ns"`
+}
+
+// Progress is a tiny atomic (done, total, rows) tracker the CLIs bump
+// from their Progress/OnRow callbacks and the server reads.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+	rows  atomic.Int64
+}
+
+// Set records the latest (done, total) progress callback.
+func (p *Progress) Set(done, total int) {
+	p.done.Store(int64(done))
+	p.total.Store(int64(total))
+}
+
+// Row records one emitted result row.
+func (p *Progress) Row() { p.rows.Add(1) }
+
+// Snapshot reads the current counters.
+func (p *Progress) Snapshot() (done, total, rows int) {
+	return int(p.done.Load()), int(p.total.Load()), int(p.rows.Load())
+}
+
+// Server is a running status endpoint.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Serve starts the endpoint on addr (host:port; port 0 picks a free
+// one). fn is called per request to produce the snapshot; it must be
+// safe for concurrent use. Routes: "/" and "/status" return the JSON
+// snapshot, "/healthz" returns 200 ok.
+func Serve(addr string, fn func() Status) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webstatus: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		st := fn()
+		st.StartUnixNS = s.start.UnixNano()
+		st.UptimeNS = time.Since(s.start).Nanoseconds()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	}
+	mux.HandleFunc("/", handle)
+	mux.HandleFunc("/status", handle)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

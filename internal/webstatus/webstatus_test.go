@@ -1,0 +1,112 @@
+package webstatus
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestServeStatus(t *testing.T) {
+	var prog Progress
+	prog.Set(3, 10)
+	prog.Row()
+	prog.Row()
+	srv, err := Serve("127.0.0.1:0", func() Status {
+		done, total, rows := prog.Snapshot()
+		return Status{
+			Tool: "test", Done: done, Total: total, Rows: rows,
+			Runs: 5, Metrics: map[string]int64{"engine.events": 42},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/status"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content type %q", path, ct)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("%s: body not JSON: %v (%s)", path, err, body)
+		}
+		if st.Tool != "test" || st.Done != 3 || st.Total != 10 || st.Rows != 2 || st.Runs != 5 {
+			t.Fatalf("%s: status = %+v", path, st)
+		}
+		if st.Metrics["engine.events"] != 42 {
+			t.Fatalf("%s: metrics = %v", path, st.Metrics)
+		}
+		if st.StartUnixNS == 0 || st.UptimeNS < 0 {
+			t.Fatalf("%s: timestamps = %d/%d", path, st.StartUnixNS, st.UptimeNS)
+		}
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestProgressConcurrent: the tracker is written from sweep callbacks
+// and read from request handlers concurrently; counters must be
+// consistent under the race detector.
+func TestProgressConcurrent(t *testing.T) {
+	var prog Progress
+	srv, err := Serve("127.0.0.1:0", func() Status {
+		done, total, rows := prog.Snapshot()
+		return Status{Done: done, Total: total, Rows: rows}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			prog.Set(i, n)
+			prog.Row()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, err := http.Get("http://" + srv.Addr() + "/status")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	done, total, rows := prog.Snapshot()
+	if done != n || total != n || rows != n {
+		t.Fatalf("final snapshot = %d/%d/%d, want %d/%d/%d", done, total, rows, n, n, n)
+	}
+}

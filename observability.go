@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"prefetchsim/internal/obs"
@@ -29,11 +30,52 @@ type (
 	SweepManifest = obs.SweepManifest
 	// RunConfig is the manifest's flat view of a Config.
 	RunConfig = obs.RunConfig
+	// SpanConfig configures transaction-span recording for one run.
+	SpanConfig = obs.SpanConfig
+	// Span is one completed transaction or stall lifecycle record.
+	Span = obs.Span
+	// SpanClass classifies a span (miss.cold, prefetch.late, ...).
+	SpanClass = obs.SpanClass
+	// SpanStats is the exact per-class span aggregate of one run.
+	SpanStats = obs.SpanStats
+	// SpanClassStats is one class's aggregate within a SpanStats.
+	SpanClassStats = obs.SpanClassStats
+	// SpanSummary is the manifest view of a span recording.
+	SpanSummary = obs.SpanSummary
+	// TimelineConfig configures windowed time-series collection.
+	TimelineConfig = obs.TimelineConfig
+	// TimePoint is one timeline window of instrument deltas.
+	TimePoint = obs.TimePoint
+	// TimelineSummary is the manifest view of a timeline recording.
+	TimelineSummary = obs.TimelineSummary
 )
 
 // ManifestSchemaVersion is the manifest document version this build
 // writes (and the only one it reads).
 const ManifestSchemaVersion = obs.ManifestSchema
+
+// NumSpanClasses bounds per-class span arrays (see SpanClass).
+const NumSpanClasses = obs.NumSpanClasses
+
+// Span classes (see the obs package for their exact semantics): the
+// read-stall classes (misses, late prefetches, SLC hits), the
+// write-stall classes (write buffer, sequential consistency), the
+// sync-stall classes (acquire, barrier, release), plus ownership
+// transactions and timely prefetches, which charge no stall.
+const (
+	SpanMissCold        = obs.SpanMissCold
+	SpanMissCoherence   = obs.SpanMissCoherence
+	SpanMissReplacement = obs.SpanMissReplacement
+	SpanWrite           = obs.SpanWrite
+	SpanPrefetch        = obs.SpanPrefetch
+	SpanPrefetchLate    = obs.SpanPrefetchLate
+	SpanSLCHit          = obs.SpanSLCHit
+	SpanFLWB            = obs.SpanFLWB
+	SpanSCWrite         = obs.SpanSCWrite
+	SpanAcquire         = obs.SpanAcquire
+	SpanBarrier         = obs.SpanBarrier
+	SpanRelease         = obs.SpanRelease
+)
 
 // DigestRows is the canonical SHA-256 digest of a sweep's rendered
 // result rows (newline-terminated lines, as in StatsDigest).
@@ -41,7 +83,18 @@ func DigestRows(rows []string) string { return obs.DigestStrings(rows) }
 
 func goVersion() string { return runtime.Version() }
 
-func gitSHA() string { return obs.GitSHA(".") }
+// gitSHA memoizes the repository revision: it is immutable for the
+// life of the process, and sweeps record one manifest per run, so the
+// .git walk must not repeat per row.
+var gitSHAOnce = struct {
+	sync.Once
+	v string
+}{}
+
+func gitSHA() string {
+	gitSHAOnce.Do(func() { gitSHAOnce.v = obs.GitSHA(".") })
+	return gitSHAOnce.v
+}
 
 // ReadManifestFile loads a run manifest written by Manifest.WriteFile,
 // rejecting unknown schema versions.
@@ -109,6 +162,12 @@ func NewManifest(cfg Config, res *Result, wall time.Duration) *Manifest {
 	}
 	if len(res.Metrics) > 0 {
 		m.Metrics = res.Metrics.Totals()
+	}
+	if res.Spans != nil && res.SpanTrace != nil {
+		m.Spans = obs.SummarizeSpanStats(res.Spans, *res.SpanTrace)
+	}
+	if cfg.Timeline != nil && len(res.Timeline) > 0 {
+		m.Timeline = &TimelineSummary{WindowPclocks: cfg.Timeline.Window, Points: len(res.Timeline)}
 	}
 	return m
 }

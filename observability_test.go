@@ -114,6 +114,188 @@ func TestMetricsMatchStats(t *testing.T) {
 	}
 }
 
+// TestSpanDifferential is the acceptance check that span and timeline
+// collection is purely observational: a run with both attached
+// produces byte-identical statistics to the same run without.
+func TestSpanDifferential(t *testing.T) {
+	plain, err := Run(obsConfig(Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var spanBuf, tlBuf bytes.Buffer
+	cfg := obsConfig(Seq)
+	cfg.Spans = &SpanConfig{W: &spanBuf, Cap: 1 << 12}
+	cfg.Timeline = &TimelineConfig{Window: 50000, W: &tlBuf}
+	obs, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := StatsDigest(obs.Stats), StatsDigest(plain.Stats); got != want {
+		t.Fatalf("span/timeline collection changed the stats digest: %s != %s", got, want)
+	}
+	if !reflect.DeepEqual(obs.Stats, plain.Stats) {
+		t.Fatal("span/timeline collection changed the statistics")
+	}
+
+	if obs.Spans == nil || obs.SpanTrace == nil {
+		t.Fatal("run returned no span aggregates")
+	}
+	if obs.SpanTrace.Seen == 0 {
+		t.Fatalf("span summary = %+v, want spans", obs.SpanTrace)
+	}
+	lines := strings.Split(strings.TrimRight(spanBuf.String(), "\n"), "\n")
+	if uint64(len(lines)) != obs.SpanTrace.Kept {
+		t.Fatalf("flushed %d JSONL lines, summary says kept %d", len(lines), obs.SpanTrace.Kept)
+	}
+	var span map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil {
+		t.Fatalf("span line not JSON: %v (%s)", err, lines[0])
+	}
+	if len(obs.Timeline) == 0 {
+		t.Fatal("run returned no timeline windows")
+	}
+	if got := strings.Count(tlBuf.String(), "\n"); got != len(obs.Timeline) {
+		t.Fatalf("flushed %d timeline lines, result has %d windows", got, len(obs.Timeline))
+	}
+}
+
+// TestSpanStatsReconcile is the span-vs-stats differential: the exact
+// per-class span aggregates (which sampling and ring capacity never
+// touch) must reconcile with the run's statistics — every read miss,
+// prefetch and delayed hit has exactly one span, and the span waits
+// sum to the stall-time totals the processor model charged. LU brings
+// barrier synchronization into the split.
+func TestSpanStatsReconcile(t *testing.T) {
+	cfg := Config{App: "lu", Scheme: Seq, Processors: 4, Seed: 12345}
+	cfg.Spans = &SpanConfig{Cap: 64} // deliberately tiny: aggregates stay exact
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Spans
+	if st == nil {
+		t.Fatal("no span aggregates")
+	}
+
+	var cold, coh, repl, issued, delayed, readStall, writeStall, syncStall int64
+	for i := range res.Stats.Nodes {
+		n := &res.Stats.Nodes[i]
+		cold += n.ColdMisses
+		coh += n.CoherenceMisses
+		repl += n.ReplacementMisses
+		issued += n.PrefetchesIssued
+		delayed += n.DelayedHits
+		readStall += int64(n.ReadStall)
+		writeStall += int64(n.WriteStall)
+		syncStall += int64(n.SyncStall)
+	}
+
+	// One span per classified demand miss.
+	for _, c := range []struct {
+		cls  SpanClass
+		want int64
+	}{
+		{SpanMissCold, cold},
+		{SpanMissCoherence, coh},
+		{SpanMissReplacement, repl},
+		{SpanPrefetchLate, delayed},
+	} {
+		if got := st.Class(c.cls).Count; got != c.want {
+			t.Errorf("%v spans = %d, stats say %d", c.cls, got, c.want)
+		}
+	}
+	// Every issued prefetch completes as timely or late.
+	if got := st.Class(SpanPrefetch).Count + st.Class(SpanPrefetchLate).Count; got != issued {
+		t.Errorf("prefetch spans = %d, stats issued %d", got, issued)
+	}
+
+	// The span waits partition the three stall-time totals exactly.
+	sum := func(cls ...SpanClass) int64 {
+		var s int64
+		for _, c := range cls {
+			s += st.Class(c).WaitPclocks
+		}
+		return s
+	}
+	if got := sum(SpanMissCold, SpanMissCoherence, SpanMissReplacement, SpanPrefetchLate, SpanSLCHit); got != readStall {
+		t.Errorf("read-stall span waits = %d, stats charge %d", got, readStall)
+	}
+	if got := sum(SpanFLWB, SpanSCWrite); got != writeStall {
+		t.Errorf("write-stall span waits = %d, stats charge %d", got, writeStall)
+	}
+	if got := sum(SpanAcquire, SpanBarrier, SpanRelease); got != syncStall {
+		t.Errorf("sync-stall span waits = %d, stats charge %d", got, syncStall)
+	}
+	if syncStall == 0 || st.Class(SpanBarrier).Count == 0 {
+		t.Error("LU run charged no barrier sync stall; the sync reconciliation is vacuous")
+	}
+	// Consumed prefetches report their fill-to-first-use idle time.
+	if st.IdleCount == 0 {
+		t.Error("no prefetch fill-to-use idle observations")
+	}
+}
+
+// TestTimelineMatchesTotals: the windowed deltas must sum back to the
+// run's end-of-run totals — nothing double-counted at window
+// boundaries, nothing lost in the final partial window.
+func TestTimelineMatchesTotals(t *testing.T) {
+	cfg := obsConfig(Seq)
+	cfg.Timeline = &TimelineConfig{Window: 100000}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) < 2 {
+		t.Fatalf("%d windows, want a multi-window run", len(res.Timeline))
+	}
+
+	var p TimePoint
+	prevT := int64(0)
+	for _, w := range res.Timeline {
+		if w.T <= prevT {
+			t.Fatalf("window times not increasing: %d after %d", w.T, prevT)
+		}
+		prevT = w.T
+		p.Reads += w.Reads
+		p.Writes += w.Writes
+		p.Misses += w.Misses
+		p.PrefIssued += w.PrefIssued
+		p.ReadStall += w.ReadStall
+		p.NetFlits += w.NetFlits
+	}
+	// The final window closes at processor completion time, or later
+	// when in-flight transactions drained the event queue past it.
+	if last := res.Timeline[len(res.Timeline)-1].T; last < int64(res.Stats.ExecTime) {
+		t.Fatalf("last window at t=%d, run ended at %d", last, res.Stats.ExecTime)
+	}
+
+	var writes, readStall int64
+	for i := range res.Stats.Nodes {
+		writes += res.Stats.Nodes[i].Writes
+		readStall += int64(res.Stats.Nodes[i].ReadStall)
+	}
+	if p.Reads != res.Stats.TotalReads() {
+		t.Errorf("window reads sum to %d, stats count %d", p.Reads, res.Stats.TotalReads())
+	}
+	if p.Writes != writes {
+		t.Errorf("window writes sum to %d, stats count %d", p.Writes, writes)
+	}
+	if p.Misses != res.Stats.TotalReadMisses() {
+		t.Errorf("window misses sum to %d, stats count %d", p.Misses, res.Stats.TotalReadMisses())
+	}
+	if p.PrefIssued != res.Stats.TotalPrefetchesIssued() {
+		t.Errorf("window prefetches sum to %d, stats count %d", p.PrefIssued, res.Stats.TotalPrefetchesIssued())
+	}
+	if p.ReadStall != readStall {
+		t.Errorf("window read stall sums to %d, stats charge %d", p.ReadStall, readStall)
+	}
+	if p.NetFlits != res.Stats.NetFlits {
+		t.Errorf("window flits sum to %d, stats count %d", p.NetFlits, res.Stats.NetFlits)
+	}
+}
+
 // TestManifestRoundTripFromRun writes the manifest of a real run to
 // disk, reads it back and requires deep equality — the write → parse →
 // deep-equal contract on live data rather than a synthetic document.

@@ -191,6 +191,17 @@ type Config struct {
 	// attached to the result and the JSONL flushes to Trace.W. Purely
 	// observational: results are byte-identical with or without it.
 	Trace *TraceConfig
+	// Spans, when non-nil, records one lifecycle span per memory-system
+	// transaction and stall episode (issue → network → directory →
+	// service → reply → fill, with per-hop virtual-time stamps). Exact
+	// per-class aggregates attach to Result.Spans; the sampled raw
+	// spans flush as JSONL to Spans.W. Purely observational.
+	Spans *SpanConfig
+	// Timeline, when non-nil with a positive Window, snapshots the
+	// instruments every Window pclocks of virtual time; the windowed
+	// time-series attaches to Result.Timeline and flushes as JSONL to
+	// Timeline.W. Purely observational: the statistics are unchanged.
+	Timeline *TimelineConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -229,6 +240,13 @@ type Result struct {
 	Metrics MetricsSnapshot
 	// TraceStats summarizes the event trace when Config.Trace was set.
 	TraceStats *TraceSummary
+	// Spans holds the exact per-class span aggregates when Config.Spans
+	// was set; SpanTrace summarizes the sampled raw-span ring.
+	Spans     *SpanStats
+	SpanTrace *TraceSummary
+	// Timeline is the windowed instrument time-series when
+	// Config.Timeline was set.
+	Timeline []TimePoint
 }
 
 // newPrefetcher builds the per-node prefetch engine for a scheme.
@@ -303,6 +321,16 @@ func Run(cfg Config) (*Result, error) {
 		tr = obs.NewTracer(*cfg.Trace)
 		mcfg.Tracer = tr
 	}
+	var sp *obs.SpanRecorder
+	if cfg.Spans != nil {
+		sp = obs.NewSpanRecorder(*cfg.Spans)
+		mcfg.Spans = sp
+	}
+	var tl *obs.Timeline
+	if cfg.Timeline != nil {
+		tl = obs.NewTimeline(*cfg.Timeline)
+		mcfg.Timeline = tl
+	}
 
 	m, err := machine.New(mcfg, prog)
 	if err != nil {
@@ -333,6 +361,20 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s := tr.Summary()
 		res.TraceStats = &s
+	}
+	if sp != nil {
+		if err := sp.Flush(); err != nil {
+			return nil, err
+		}
+		res.Spans = sp.Stats()
+		s := sp.Summary()
+		res.SpanTrace = &s
+	}
+	if tl != nil {
+		if err := tl.Flush(); err != nil {
+			return nil, err
+		}
+		res.Timeline = tl.Points()
 	}
 	return res, nil
 }

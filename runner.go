@@ -146,6 +146,21 @@ func (r *ManifestRecorder) Totals() map[string]int64 {
 	return t
 }
 
+// Status returns the completed-run count and the summed metric totals
+// in one lock acquisition — the payload a live status endpoint polls
+// while a sweep is running (see cmd/sweep's -http flag).
+func (r *ManifestRecorder) Status() (runs int, totals map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	totals = make(map[string]int64)
+	for i := range r.runs {
+		for k, v := range r.runs[i].Metrics {
+			totals[k] += v
+		}
+	}
+	return len(r.runs), totals
+}
+
 // Sweep wraps the recorded runs into one sweep manifest for the given
 // invocation: the tool name and arguments, the rendered result rows
 // (digested so the sweep's output is pinned the way run stats are),
