@@ -45,6 +45,7 @@ func main() {
 	degrees := flag.String("degrees", "", "comma-separated degree sweep (ablation)")
 	slcsweep := flag.String("slcsweep", "", "comma-separated SLC byte sizes (ablation)")
 	extensions := flag.Bool("extensions", false, "compare the §6 extension schemes (lookahead, hybrid) on -app")
+	zoo := flag.Bool("zoo", false, "compare the modern prefetcher zoo (Markov, Perceptron, BestOffset) against the paper's schemes on -app")
 	bandwidth := flag.String("bandwidth", "", "comma-separated bandwidth divisors for the §7 limitation study on -app")
 	assoc := flag.String("assoc", "", "comma-separated SLC associativities for the finite-cache ablation on -app")
 	consistency := flag.Bool("consistency", false, "compare release vs sequential consistency")
@@ -121,6 +122,12 @@ func main() {
 	case *extensions:
 		fmt.Printf("Extension schemes (§6) on %s\n", *app)
 		rows, err := prefetchsim.ExtensionCompare(*app, opt)
+		exitOn(err)
+		rendered = render(rows)
+		print(rows)
+	case *zoo:
+		fmt.Printf("Prefetcher zoo vs the paper's schemes on %s\n", *app)
+		rows, err := prefetchsim.ZooCompare(*app, opt)
 		exitOn(err)
 		rendered = render(rows)
 		print(rows)

@@ -22,8 +22,10 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "lu", "application: "+strings.Join(prefetchsim.Apps(), ", "))
-	scheme := flag.String("scheme", "baseline", "prefetching scheme: baseline, I-det, D-det, Seq, Adaptive")
+	app := flag.String("app", "lu", "application: "+strings.Join(prefetchsim.Apps(), ", ")+
+		" (extras: "+strings.Join(prefetchsim.ExtraApps(), ", ")+")")
+	scheme := flag.String("scheme", "baseline",
+		"prefetching scheme: baseline, I-det, D-det, Seq, Adaptive, Markov, Perceptron, BestOffset")
 	degree := flag.Int("degree", 1, "degree of prefetching d")
 	procs := flag.Int("procs", 16, "processor count")
 	slc := flag.Int("slc", 0, "SLC size in bytes (0 = infinite)")

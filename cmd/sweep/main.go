@@ -114,8 +114,10 @@ func sweep(s spec, w, errw io.Writer, rec *prefetchsim.ManifestRecorder, progres
 }
 
 func main() {
-	apps := flag.String("apps", strings.Join(prefetchsim.Apps(), ","), "comma-separated applications")
-	schemes := flag.String("schemes", "baseline,I-det,D-det,Seq", "comma-separated schemes")
+	apps := flag.String("apps", strings.Join(prefetchsim.Apps(), ","),
+		"comma-separated applications (extras: "+strings.Join(prefetchsim.ExtraApps(), ",")+")")
+	schemes := flag.String("schemes", "baseline,I-det,D-det,Seq",
+		"comma-separated schemes (also: Adaptive, I-det-LA, D-det-LA, Hybrid, Markov, Perceptron, BestOffset)")
 	degrees := flag.String("degrees", "1", "comma-separated prefetch degrees")
 	slcs := flag.String("slc", "0", "comma-separated SLC sizes in bytes (0 = infinite)")
 	ways := flag.Int("ways", 1, "SLC associativity for finite sizes")

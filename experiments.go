@@ -436,6 +436,18 @@ func ExtensionCompare(app string, o ExpOptions) ([]Fig6Row, error) {
 	return Figure6(o, IDet, IDetLA, DDet, DDetLA, Seq, Hybrid)
 }
 
+// ZooCompare runs the modern prefetcher zoo (Markov, Perceptron,
+// BestOffset) next to the paper's schemes on one application —
+// typically one of the pointer-heavy extras (listchase, hashjoin, bfs)
+// the zoo exists for, but any registered workload works. It uses the
+// §5.3 finite SLC: correlation prefetching only has work to do when the
+// working set exceeds the cache (under an infinite SLC a repeated
+// traversal misses exactly once, so there is nothing left to replay).
+func ZooCompare(app string, o ExpOptions) ([]Fig6Row, error) {
+	o.Apps = []string{app}
+	return Figure6Finite(o, append([]Scheme{IDet, DDet, Seq, Adaptive}, ZooSchemes()...)...)
+}
+
 // ConsistencyRow is one entry of the consistency ablation.
 type ConsistencyRow struct {
 	App string

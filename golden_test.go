@@ -37,6 +37,16 @@ const (
 	goldenDDetDigest = "b6eeb87e27a45de384d30f3ec06c6f2aa86116e62d25fd3b5f68c5dea0d83676"
 )
 
+// Digests of one listchase/4-processor/seed-12345 run per zoo scheme
+// under the finite SLC (the configuration where correlation prefetching
+// actually fires: the working set exceeds the cache, so every round
+// misses again). Pinned at the commit that introduced the zoo.
+var goldenZooDigests = map[prefetchsim.Scheme]string{
+	prefetchsim.Markov:     "731065ce134de50503c4f4af43cc86038e91f580e092b181ecf2298b7700ea99",
+	prefetchsim.Perceptron: "f7c14e43bcdcf23ea14bf0f502a35ba8201d420e0376bed890e89cdb7de0208a",
+	prefetchsim.BestOff:    "ad20c3416b9931fd4c5555c938c3a14e9a49d494a5d468d104d0a7cee07249a3",
+}
+
 func goldenOpts() prefetchsim.ExpOptions {
 	return prefetchsim.ExpOptions{Procs: 4, Apps: []string{"matmul"}, Seed: 12345, Workers: 1}
 }
@@ -108,6 +118,29 @@ func TestGoldenDDetectionDigest(t *testing.T) {
 	if got := digestStats(res.Stats); got != goldenDDetDigest {
 		t.Errorf("D-detection digest changed: got %s, want %s\nstats:\n%s",
 			got, goldenDDetDigest, res.Stats)
+	}
+}
+
+func TestGoldenZooDigests(t *testing.T) {
+	for _, s := range prefetchsim.ZooSchemes() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			want, ok := goldenZooDigests[s]
+			if !ok {
+				t.Fatalf("no golden digest pinned for zoo scheme %s", s)
+			}
+			res, err := prefetchsim.Run(prefetchsim.Config{
+				App: "listchase", Scheme: s, Processors: 4, Seed: 12345,
+				SLCBytes: prefetchsim.FiniteSLCBytes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestStats(res.Stats); got != want {
+				t.Errorf("%s digest changed: got %s, want %s\nstats:\n%s",
+					s, got, want, res.Stats)
+			}
+		})
 	}
 }
 

@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"sort"
 
+	"prefetchsim/internal/apps/bfs"
 	"prefetchsim/internal/apps/cholesky"
+	"prefetchsim/internal/apps/hashjoin"
+	"prefetchsim/internal/apps/listchase"
 	"prefetchsim/internal/apps/lu"
 	"prefetchsim/internal/apps/matmul"
 	"prefetchsim/internal/apps/mp3d"
@@ -33,19 +36,35 @@ var registry = map[string]Maker{
 	// extra workload; it is not part of the paper's six-application
 	// evaluation and therefore not in the default sweeps.
 	"matmul": func(p workload.Params) *trace.Program { return matmul.New(matmul.DefaultConfig(p)) },
+	// The pointer-heavy kernels below are likewise extras: irregular
+	// workloads the paper's §7 conclusions call out as beyond stride and
+	// sequential detection, used to evaluate the correlation-based zoo
+	// schemes.
+	"listchase": func(p workload.Params) *trace.Program { return listchase.New(listchase.DefaultConfig(p)) },
+	"hashjoin":  func(p workload.Params) *trace.Program { return hashjoin.New(hashjoin.DefaultConfig(p)) },
+	"bfs":       func(p workload.Params) *trace.Program { return bfs.New(bfs.DefaultConfig(p)) },
 }
 
 // paperOrder is the column order of the paper's tables.
 var paperOrder = []string{"mp3d", "cholesky", "water", "lu", "ocean", "pthor"}
 
+// extraOrder lists the registered workloads outside the paper's six:
+// the §3.1 matmul example and the irregular pointer kernels.
+var extraOrder = []string{"matmul", "listchase", "hashjoin", "bfs"}
+
 // Names returns the application names in the paper's table order.
 func Names() []string { return append([]string(nil), paperOrder...) }
+
+// Extras returns the registered workloads outside the paper's
+// six-application evaluation (runnable by name, excluded from default
+// sweeps).
+func Extras() []string { return append([]string(nil), extraOrder...) }
 
 // Get returns the maker for name.
 func Get(name string) (Maker, error) {
 	mk, ok := registry[name]
 	if !ok {
-		known := Names()
+		known := append(Names(), Extras()...)
 		sort.Strings(known)
 		return nil, fmt.Errorf("apps: unknown application %q (known: %v)", name, known)
 	}
@@ -64,6 +83,9 @@ var hints = map[string]func(workload.Params) map[trace.PC]int64{
 	"matmul": func(p workload.Params) map[trace.PC]int64 {
 		return matmul.StrideHints(matmul.DefaultConfig(p).M)
 	},
+	"listchase": func(workload.Params) map[trace.PC]int64 { return listchase.StrideHints() },
+	"hashjoin":  func(workload.Params) map[trace.PC]int64 { return hashjoin.StrideHints() },
+	"bfs":       func(workload.Params) map[trace.PC]int64 { return bfs.StrideHints() },
 }
 
 // StrideHints returns the application's compile-time stride table for

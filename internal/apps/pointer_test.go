@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"testing"
+
+	"prefetchsim/internal/apps/workload"
+	"prefetchsim/internal/trace"
+)
+
+// pointerKernels are the irregular-workload extras (not part of the
+// paper's six-application evaluation, so not in Names()).
+var pointerKernels = []string{"listchase", "hashjoin", "bfs"}
+
+func TestPointerKernelsAreRegisteredExtras(t *testing.T) {
+	for _, name := range pointerKernels {
+		if _, err := Get(name); err != nil {
+			t.Errorf("Get(%q): %v", name, err)
+		}
+		if _, err := StrideHints(name, tiny()); err != nil {
+			t.Errorf("StrideHints(%q): %v", name, err)
+		}
+	}
+	for _, name := range Names() {
+		for _, k := range pointerKernels {
+			if name == k {
+				t.Errorf("%q leaked into the paper's table order", k)
+			}
+		}
+	}
+}
+
+func TestPointerKernelsAreWellFormed(t *testing.T) {
+	for _, name := range pointerKernels {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := tinyProgram(t, name)
+			counts, err := workload.Validate(p, tiny().Procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c == 0 {
+					t.Errorf("processor %d has an empty stream", i)
+				}
+			}
+		})
+	}
+}
+
+func TestPointerKernelsAreDeterministic(t *testing.T) {
+	for _, name := range pointerKernels {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a, b := tinyProgram(t, name), tinyProgram(t, name)
+			defer a.Stop()
+			defer b.Stop()
+			for s := range a.Streams {
+				for n := 0; ; n++ {
+					oa, ob := a.Streams[s].Next(), b.Streams[s].Next()
+					if oa != ob {
+						t.Fatalf("stream %d diverges at op %d: %+v vs %+v", s, n, oa, ob)
+					}
+					if oa.Kind == trace.End {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// The kernels exist because their miss streams defeat stride detection:
+// the chase-dominated ones must look stride-poor to the paper's own
+// miss analysis.
+func TestPointerKernelsAreStridePoor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-program simulation")
+	}
+	for _, name := range []string{"listchase", "hashjoin"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, r := runTiny(t, name)
+			if m.Stats.TotalReadMisses() == 0 {
+				t.Fatal("degenerate run: no read misses")
+			}
+			if frac := r.FracInSequences(); frac > 0.45 {
+				t.Errorf("%s: %.0f%% of misses in stride sequences; this kernel must be stride-poor",
+					name, 100*frac)
+			}
+		})
+	}
+}

@@ -166,6 +166,20 @@ func (t *Table[V]) Delete(b mem.Block) (V, bool) {
 	return old, true
 }
 
+// Clear removes every entry but keeps the backing array, so a table
+// that is periodically reset (the Markov prefetcher's correlation table
+// models finite hardware storage this way) settles at its high-water
+// size and never reallocates again.
+func (t *Table[V]) Clear() {
+	if t.n == 0 {
+		return
+	}
+	for i := range t.slots {
+		t.slots[i] = slot[V]{}
+	}
+	t.n = 0
+}
+
 func (t *Table[V]) grow() {
 	size := len(t.slots) * 2
 	if size < minSize {

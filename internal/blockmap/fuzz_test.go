@@ -1,0 +1,70 @@
+package blockmap
+
+import (
+	"testing"
+
+	"prefetchsim/internal/mem"
+)
+
+// FuzzTableVsMapOracle drives an arbitrary operation sequence through
+// Table and a plain map side by side. The table's open-addressed
+// robin-hood probing with backward-shift deletion has exactly the
+// corner cases fuzzing finds (wrap-around displacement chains, delete
+// in the middle of a cluster, clear-then-refill), and any divergence
+// from map semantics would silently corrupt every prefetch scheme
+// built on it.
+func FuzzTableVsMapOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1, 0, 2, 3, 0})
+	f.Add([]byte{0, 255, 1, 255, 2, 255, 4, 0, 0, 255, 2, 255})
+	f.Add([]byte{4, 0, 0, 7, 1, 7, 3, 7})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var tab Table[uint16]
+		oracle := map[mem.Block]uint16{}
+
+		// Each pair of bytes is one operation: the low bits of the first
+		// pick the op, the second picks the block (a deliberately tiny
+		// key space, so operations collide constantly).
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, b := ops[i]&7, mem.Block(ops[i+1]%64)
+			val := uint16(ops[i]) ^ uint16(ops[i+1])<<3
+			switch op {
+			case 0, 1: // Put
+				tab.Put(b, val)
+				oracle[b] = val
+			case 2: // Delete
+				got, ok := tab.Delete(b)
+				want, wok := oracle[b]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Delete(%d) = %d,%v; oracle %d,%v", b, got, ok, want, wok)
+				}
+				delete(oracle, b)
+			case 3: // Ref (insert-or-update through the pointer)
+				*tab.Ref(b) = val
+				oracle[b] = val
+			case 4: // Clear
+				tab.Clear()
+				oracle = map[mem.Block]uint16{}
+			default: // Get
+				got, ok := tab.Get(b)
+				want, wok := oracle[b]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%v; oracle %d,%v", b, got, ok, want, wok)
+				}
+			}
+			if tab.Len() != len(oracle) {
+				t.Fatalf("Len() = %d, oracle has %d entries", tab.Len(), len(oracle))
+			}
+		}
+
+		// Full sweep: every oracle entry must be present with the right
+		// value, and a probe outside the key space must miss.
+		for b, want := range oracle {
+			if got, ok := tab.Get(b); !ok || got != want {
+				t.Fatalf("final Get(%d) = %d,%v; oracle %d,true", b, got, ok, want)
+			}
+		}
+		if _, ok := tab.Get(mem.Block(1 << 40)); ok {
+			t.Fatal("Get of a never-inserted block reported present")
+		}
+	})
+}

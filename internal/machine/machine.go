@@ -187,6 +187,9 @@ type node struct {
 	st  *stats.Node
 	met NodeMetrics
 	pf  prefetch.Prefetcher
+	// pfCross caches prefetch.CrossesPages(pf): correlation-based schemes
+	// replay known translations, so the §2 page filter is lifted for them.
+	pfCross bool
 
 	stream trace.Stream
 	// batch is the local run of ops the fetch-execute loop iterates
@@ -294,6 +297,7 @@ func New(cfg Config, prog *trace.Program) (*Machine, error) {
 		} else {
 			n.pf = prefetch.None{}
 		}
+		n.pfCross = prefetch.CrossesPages(n.pf)
 		n.stepFn = func() { m.stepNode(n) }
 		n.pfEmit = func(pb mem.Block) { m.emitPrefetch(n, pb) }
 		m.nodes = append(m.nodes, n)

@@ -300,12 +300,13 @@ func (m *Machine) firePrefetcher(n *node, pc trace.PC, addr mem.Addr, b mem.Bloc
 }
 
 // emitPrefetch issues one prefetch proposal that survives filtering:
-// same page (§2, no prefetching across page boundaries), not cached,
-// not already in flight, and an SLWB slot available (otherwise the
-// prefetch is dropped).
+// same page (§2, no prefetching across page boundaries — lifted for
+// schemes that replay known translations, see prefetch.PageCrosser),
+// not cached, not already in flight, and an SLWB slot available
+// (otherwise the prefetch is dropped).
 func (m *Machine) emitPrefetch(n *node, pb mem.Block) {
 	b := n.pfBlock
-	if !mem.SamePage(b, pb) || pb == b {
+	if pb == b || (!n.pfCross && !mem.SamePage(b, pb)) {
 		return
 	}
 	if _, ok := n.slc.Lookup(pb); ok {

@@ -1,0 +1,303 @@
+// Package patternlab is a microbenchmark harness for prefetching
+// schemes: synthetic reference streams, one per access-pattern family,
+// driven through a small machine-like cache model that applies the same
+// proposal filters the simulator's SLC does. It answers, per (scheme,
+// family) cell, the two questions the full simulator entangles with
+// timing: what fraction of a scheme's prefetches are consumed
+// (accuracy), and what fraction of the pattern's misses it removes
+// (coverage) — plus how much it pollutes (useless prefetches) on
+// patterns it cannot learn. The grid test in this package pins the
+// qualitative contract of the whole prefetcher zoo: every scheme wins
+// its target family and stays quiet elsewhere.
+package patternlab
+
+import (
+	"prefetchsim/internal/mem"
+	"prefetchsim/internal/prefetch"
+	"prefetchsim/internal/sim"
+	"prefetchsim/internal/trace"
+)
+
+// Ref is one reference presented to the lab's cache (standing in for an
+// FLC read miss reaching the SLC).
+type Ref struct {
+	PC   trace.PC
+	Addr mem.Addr
+}
+
+// Result is one (scheme, family) grid cell.
+type Result struct {
+	// Refs is the stream length; BaselineMisses is the miss count with
+	// no prefetcher, Misses with the scheme under test.
+	Refs           int
+	BaselineMisses int
+	Misses         int
+	// Issued counts prefetches that survived filtering; Useful counts
+	// issued prefetches consumed by a later demand reference.
+	Issued int
+	Useful int
+}
+
+// Accuracy is useful/issued (1 when nothing was issued: an idle scheme
+// is never wrong).
+func (r Result) Accuracy() float64 {
+	if r.Issued == 0 {
+		return 1
+	}
+	return float64(r.Useful) / float64(r.Issued)
+}
+
+// Coverage is the fraction of baseline misses the scheme removed.
+func (r Result) Coverage() float64 {
+	if r.BaselineMisses == 0 {
+		return 0
+	}
+	return 1 - float64(r.Misses)/float64(r.BaselineMisses)
+}
+
+// Useless is the number of issued-but-never-consumed prefetches.
+func (r Result) Useless() int { return r.Issued - r.Useful }
+
+// PollutionPerK is useless prefetches per 1000 references — the grid's
+// "does it spray garbage on patterns it cannot learn" measure.
+func (r Result) PollutionPerK() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return 1000 * float64(r.Useless()) / float64(r.Refs)
+}
+
+// labCache is a fully-associative FIFO cache of blocks with a
+// prefetched tag per line, the minimal stand-in for the simulator's
+// tagged SLC.
+type labCache struct {
+	cap    int
+	at     int
+	fifo   []mem.Block
+	lines  map[mem.Block]bool // block -> tagged
+	inUse  map[mem.Block]bool
+	filled bool
+}
+
+func newLabCache(capBlocks int) *labCache {
+	return &labCache{
+		cap:   capBlocks,
+		fifo:  make([]mem.Block, 0, capBlocks),
+		lines: make(map[mem.Block]bool, capBlocks),
+	}
+}
+
+func (c *labCache) insert(b mem.Block, tagged bool) {
+	if len(c.fifo) < c.cap {
+		c.fifo = append(c.fifo, b)
+	} else {
+		delete(c.lines, c.fifo[c.at])
+		c.fifo[c.at] = b
+		c.at = (c.at + 1) % c.cap
+	}
+	c.lines[b] = tagged
+}
+
+// Run drives refs through a capBlocks-block cache with p proposing
+// prefetches under the machine's filters (same page unless the scheme
+// crosses pages, not already cached, not the trigger block). Prefetches
+// fill instantly — the lab isolates prediction quality from timing.
+func Run(p prefetch.Prefetcher, refs []Ref, capBlocks int) Result {
+	c := newLabCache(capBlocks)
+	res := Result{Refs: len(refs)}
+	cross := prefetch.CrossesPages(p)
+
+	var trigger mem.Block
+	emit := func(pb mem.Block) {
+		if pb == trigger || (!cross && !mem.SamePage(trigger, pb)) {
+			return
+		}
+		if _, ok := c.lines[pb]; ok {
+			return
+		}
+		res.Issued++
+		c.insert(pb, true)
+	}
+
+	for _, r := range refs {
+		b := mem.BlockOf(r.Addr)
+		tagged, hit := c.lines[b]
+		consumed := hit && tagged
+		if consumed {
+			res.Useful++
+			c.lines[b] = false
+		}
+		if !hit {
+			res.Misses++
+			c.insert(b, false)
+		}
+		trigger = b
+		p.OnRead(prefetch.Request{
+			PC: r.PC, Addr: r.Addr, Block: b, Hit: hit, TagConsumed: consumed,
+		}, emit)
+	}
+	res.BaselineMisses = baselineMisses(refs, capBlocks)
+	return res
+}
+
+func baselineMisses(refs []Ref, capBlocks int) int {
+	c := newLabCache(capBlocks)
+	misses := 0
+	for _, r := range refs {
+		b := mem.BlockOf(r.Addr)
+		if _, ok := c.lines[b]; !ok {
+			misses++
+			c.insert(b, false)
+		}
+	}
+	return misses
+}
+
+// Family is one synthetic access-pattern family.
+type Family struct {
+	Name string
+	// Refs generates the family's reference stream, deterministically
+	// from seed.
+	Refs func(seed uint64) []Ref
+}
+
+// Stream-shape constants shared by the families: block-granular steps
+// (an FLC filters intra-block locality, so consecutive references to
+// one block never reach a real SLC either).
+const (
+	famRefs   = 4096
+	famPC     = trace.PC(7)
+	blockStep = mem.Addr(mem.BlockBytes)
+)
+
+// Families returns the pattern families of the grid, in display order:
+//
+//   - sequential: unit-block-stride ascending scan;
+//   - strided: constant three-block stride (one load site);
+//   - interleaved: four same-stride streams round-robin through one
+//     load site, the fused-loop shape per-PC detectors cannot split;
+//   - multidelta: a repeating +3,+9,+20 block-delta cycle — no single
+//     stride, period too long for offset candidates, single-pass so
+//     correlation cannot replay it; only transition learning wins;
+//   - pointerchase: a random cyclic permutation walked three times —
+//     arbitrary deltas, repeating order; only correlation wins;
+//   - random: uniform random blocks, the control family nobody should
+//     touch.
+func Families() []Family {
+	return []Family{
+		{"sequential", func(seed uint64) []Ref {
+			refs := make([]Ref, famRefs)
+			for i := range refs {
+				refs[i] = Ref{famPC, mem.Addr(i) * blockStep}
+			}
+			return refs
+		}},
+		{"strided", func(seed uint64) []Ref {
+			refs := make([]Ref, famRefs)
+			for i := range refs {
+				refs[i] = Ref{famPC, mem.Addr(i) * 3 * blockStep}
+			}
+			return refs
+		}},
+		{"interleaved", func(seed uint64) []Ref {
+			const streams = 4
+			refs := make([]Ref, famRefs)
+			for i := range refs {
+				s, step := i%streams, i/streams
+				base := mem.Addr(s) << 24
+				refs[i] = Ref{famPC, base + mem.Addr(step)*2*blockStep}
+			}
+			return refs
+		}},
+		{"multidelta", func(seed uint64) []Ref {
+			deltas := []mem.Addr{3, 9, 20}
+			refs := make([]Ref, famRefs)
+			addr := mem.Addr(0)
+			for i := range refs {
+				refs[i] = Ref{famPC, addr}
+				addr += deltas[i%len(deltas)] * blockStep
+			}
+			return refs
+		}},
+		{"pointerchase", func(seed uint64) []Ref {
+			const nodes = famRefs / 3
+			order := chasePerm(nodes, seed)
+			refs := make([]Ref, 0, famRefs)
+			for round := 0; round < 3; round++ {
+				for _, n := range order {
+					refs = append(refs, Ref{famPC, mem.Addr(n) * blockStep * 4})
+				}
+			}
+			return refs
+		}},
+		{"random", func(seed uint64) []Ref {
+			rng := sim.NewRand(seed + 0xabc)
+			refs := make([]Ref, famRefs)
+			for i := range refs {
+				refs[i] = Ref{famPC, mem.Addr(rng.Intn(1<<16)) * blockStep}
+			}
+			return refs
+		}},
+	}
+}
+
+// chasePerm returns a Sattolo cycle of [0, n) as a visit order.
+func chasePerm(n int, seed uint64) []int {
+	rng := sim.NewRand(seed + 0x11)
+	next := make([]int, n)
+	for i := range next {
+		next[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i)
+		next[i], next[j] = next[j], next[i]
+	}
+	order := make([]int, n)
+	at := 0
+	for i := range order {
+		order[i] = at
+		at = next[at]
+	}
+	return order
+}
+
+// Schemes returns the grid's scheme constructors in display order,
+// degree d each. Baseline (no prefetcher) is included as the first row
+// so the grid shows the do-nothing reference.
+func Schemes(d int) []func() prefetch.Prefetcher {
+	return []func() prefetch.Prefetcher{
+		func() prefetch.Prefetcher { return prefetch.None{} },
+		func() prefetch.Prefetcher { return prefetch.NewSequential(d) },
+		func() prefetch.Prefetcher { return prefetch.NewAdaptive(d) },
+		func() prefetch.Prefetcher { return prefetch.NewIDetection(256, d) },
+		func() prefetch.Prefetcher { return prefetch.NewDefaultDDetection(d) },
+		func() prefetch.Prefetcher { return prefetch.NewBestOffset(d) },
+		func() prefetch.Prefetcher { return prefetch.NewPerceptron(d) },
+		func() prefetch.Prefetcher { return prefetch.NewMarkov(d) },
+	}
+}
+
+// Cell is one computed grid entry.
+type Cell struct {
+	Scheme, Family string
+	Result
+}
+
+// LabCacheBlocks is the lab cache capacity: far smaller than every
+// family's working set, so revisits miss without prefetching.
+const LabCacheBlocks = 256
+
+// Grid computes the full scheme × family grid at degree d.
+func Grid(d int, seed uint64) []Cell {
+	var cells []Cell
+	for _, mk := range Schemes(d) {
+		for _, fam := range Families() {
+			p := mk()
+			cells = append(cells, Cell{
+				Scheme: p.Name(), Family: fam.Name,
+				Result: Run(p, fam.Refs(seed), LabCacheBlocks),
+			})
+		}
+	}
+	return cells
+}

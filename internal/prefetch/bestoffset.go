@@ -1,0 +1,179 @@
+package prefetch
+
+import (
+	"prefetchsim/internal/mem"
+)
+
+// BestOffset implements offset prefetching with online offset selection
+// — Michaud's best-offset algorithm generalized to pick several live
+// offsets at once, the multi-stride flavour of Blom, Rietveld and van
+// Nieuwpoort (arXiv:2412.16001). Loop nests that read several arrays in
+// one fused loop present an *interleaved* multi-strided miss stream to
+// the SLC; per-PC detectors see alternating strides and give up, but
+// one constant block offset O still satisfies "B-O was referenced
+// recently" for every stream. The prefetcher learns such offsets
+// empirically:
+//
+//   - a small ring remembers the last boRecent trigger blocks;
+//   - each miss tests every candidate offset O against the ring: if B-O
+//     is in it, O scores a point (testing all candidates per trigger,
+//     rather than Michaud's one-per-trigger round-robin, keeps a
+//     perfectly periodic interleave from parity-locking each candidate
+//     to a single stream);
+//   - after boPhase misses the phase ends: the offsets scoring at least
+//     boThreshold points become the live set (best score first, at most
+//     width = degree of them), scores reset and the next learning phase
+//     begins.
+//
+// Triggers (misses and consumed prefetch tags) emit B+O for every live
+// offset. A random stream scores no offset above threshold, so the live
+// set goes empty and the scheme stays silent rather than polluting.
+type BestOffset struct {
+	width int
+
+	offsets []int64 // candidate offsets, blocks
+	scores  []int
+	tested  int
+
+	recent [boRecent]mem.Block
+	recN   int
+	recAt  int
+
+	live []int64
+}
+
+const (
+	// boRecent is the recent-trigger ring length; it must cover at least
+	// as many interleaved streams as a fused loop plausibly reads.
+	boRecent = 16
+	// boPhase is the number of misses per learning phase.
+	boPhase = 64
+	// boThreshold is the minimum score (out of boPhase) that makes an
+	// offset live: an offset serving one of up to eight interleaved
+	// streams still clears it, random traffic never does.
+	boThreshold = boPhase / 8
+)
+
+// boCandidates are the candidate offsets, in blocks: the small strides
+// fused loops actually produce, a few larger power-of-two row strides,
+// and their backward counterparts.
+var boCandidates = []int64{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, -1, -2, -3, -4, -8}
+
+// NewBestOffset returns a best-offset prefetcher keeping at most width
+// live offsets (width >= 1, typically the prefetch degree d).
+func NewBestOffset(width int) *BestOffset {
+	if width < 1 {
+		panic("prefetch: best-offset width must be >= 1")
+	}
+	return &BestOffset{
+		width:   width,
+		offsets: boCandidates,
+		scores:  make([]int, len(boCandidates)),
+		live:    make([]int64, 0, width),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *BestOffset) Name() string { return "BestOffset" }
+
+// Live exposes the current live offset set, for tests.
+func (p *BestOffset) Live() []int64 { return p.live }
+
+// OnRead implements Prefetcher. Misses learn and trigger; consumed
+// prefetch tags trigger only (they are the scheme's own hits, not
+// fresh evidence of a stream).
+func (p *BestOffset) OnRead(r Request, emit func(mem.Block)) {
+	b := r.Block
+	if !r.Hit {
+		p.learn(b)
+	}
+	if !r.Hit || r.TagConsumed {
+		for _, o := range p.live {
+			pb := mem.Block(int64(b) + o)
+			if pb != b {
+				emit(pb)
+			}
+		}
+	}
+}
+
+// learn scores every candidate offset against the recent ring, records
+// the trigger, and rolls the learning phase over when it completes.
+func (p *BestOffset) learn(b mem.Block) {
+	for i, o := range p.offsets {
+		if p.inRecent(mem.Block(int64(b) - o)) {
+			p.scores[i]++
+		}
+	}
+	p.tested++
+	if p.tested == boPhase {
+		p.adopt()
+		p.tested = 0
+		for i := range p.scores {
+			p.scores[i] = 0
+		}
+	}
+
+	p.recent[p.recAt] = b
+	p.recAt = (p.recAt + 1) % boRecent
+	if p.recN < boRecent {
+		p.recN++
+	}
+}
+
+// adopt ends a learning phase: the top-scoring offsets at or above the
+// threshold become the live set. Ties break toward the smaller
+// magnitude, then the positive direction, keeping selection
+// deterministic.
+func (p *BestOffset) adopt() {
+	p.live = p.live[:0]
+	for len(p.live) < p.width {
+		best := -1
+		for i, s := range p.scores {
+			if s < boThreshold || p.adopted(p.offsets[i]) {
+				continue
+			}
+			if best < 0 || s > p.scores[best] ||
+				(s == p.scores[best] && better(p.offsets[i], p.offsets[best])) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		p.live = append(p.live, p.offsets[best])
+	}
+}
+
+func (p *BestOffset) adopted(o int64) bool {
+	for _, l := range p.live {
+		if l == o {
+			return true
+		}
+	}
+	return false
+}
+
+// better reports whether offset a is preferred over b at equal score.
+func better(a, b int64) bool {
+	aa, ab := a, b
+	if aa < 0 {
+		aa = -aa
+	}
+	if ab < 0 {
+		ab = -ab
+	}
+	if aa != ab {
+		return aa < ab
+	}
+	return a > b
+}
+
+func (p *BestOffset) inRecent(b mem.Block) bool {
+	for i := 0; i < p.recN; i++ {
+		if p.recent[i] == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package prefetch
+
+import (
+	"prefetchsim/internal/mem"
+)
+
+// Perceptron implements a perceptron-learning prefetcher after Wang and
+// Luo, "Data Cache Prefetching with Perceptron Learning"
+// (arXiv:1712.00905). Instead of a hand-built state machine deciding
+// *when* a detected pattern is trustworthy (Baer–Chen's four states,
+// Hagersten's stride threshold), a perceptron learns the decision: each
+// candidate block delta is scored by a dot product of small saturating
+// weights selected by features of the current context, and only
+// candidates whose score clears a threshold are prefetched.
+//
+// Features (each indexes one weight table):
+//
+//   - the (previous delta, candidate delta) transition — the core
+//     feature, which learns arbitrary repeating delta sequences such as
+//     +3,+9,+20,... that defeat single-stride detectors;
+//   - the (load PC, candidate delta) pair — per-site bias;
+//   - the candidate delta alone — global bias.
+//
+// Training is perceptron-style: when a read's actual delta is observed,
+// the weights of that (context, delta) are incremented (the transition
+// really happens), and predictions that age out of a small outstanding
+// ring unconsumed have their weights decremented (the transition was
+// predicted but didn't happen). Weights saturate at ±perceptronWMax, so
+// one phase change cannot wipe out learned behaviour, and a cold table
+// issues nothing — on truly random streams the threshold is never
+// reached and the scheme stays silent instead of polluting.
+//
+// Candidate deltas are drawn from a short MRU list of recently observed
+// deltas, so the scheme needs no a-priori stride table and adapts to
+// whatever deltas the workload actually produces.
+type Perceptron struct {
+	degree int
+
+	prev      mem.Block
+	prevDelta int64
+	seen      bool
+
+	cands  [perceptronCands]int64
+	candN  int
+	wCtx   [perceptronTable]int8
+	wPC    [perceptronTable]int8
+	wGlob  [perceptronTable]int8
+	pend   [perceptronPend]perceptronPred
+	pendAt int
+	scores [perceptronCands]int32 // scratch, avoids per-read allocation
+}
+
+// perceptronPred is one outstanding prediction awaiting confirmation.
+type perceptronPred struct {
+	block      mem.Block
+	i1, i2, i3 uint16
+	valid      bool
+}
+
+const (
+	// perceptronCands is the candidate-delta MRU list length.
+	perceptronCands = 8
+	// perceptronTable sizes each weight table (a power of two).
+	perceptronTable = 1 << 10
+	// perceptronPend is the outstanding-prediction ring length; a
+	// prediction not consumed within perceptronPend further predictions
+	// counts as wrong.
+	perceptronPend = 32
+	// perceptronTheta is the issue threshold on the summed score.
+	perceptronTheta = 4
+	// perceptronWMax saturates each weight.
+	perceptronWMax = 15
+)
+
+// NewPerceptron returns a perceptron-learning prefetcher issuing at
+// most degree predictions per observed read (degree >= 1).
+func NewPerceptron(degree int) *Perceptron {
+	if degree < 1 {
+		panic("prefetch: perceptron degree must be >= 1")
+	}
+	return &Perceptron{degree: degree}
+}
+
+// Name implements Prefetcher.
+func (p *Perceptron) Name() string { return "Perceptron" }
+
+// phash mixes two 64-bit feature values into a weight-table index.
+func phash(a, b uint64) uint16 {
+	h := a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return uint16((h * 0x94D049BB133111EB >> 48) & (perceptronTable - 1))
+}
+
+// OnRead implements Prefetcher. Misses and consumed prefetch tags drive
+// both training and prediction; plain hits are invisible.
+func (p *Perceptron) OnRead(r Request, emit func(mem.Block)) {
+	if r.Hit && !r.TagConsumed {
+		return
+	}
+	b := r.Block
+
+	if !p.seen {
+		p.prev, p.seen = b, true
+		return
+	}
+	delta := int64(b) - int64(p.prev)
+	if delta == 0 {
+		return
+	}
+
+	// Train toward the observed transition: the previous context really
+	// was followed by delta.
+	bump(&p.wCtx[phash(uint64(p.prevDelta), uint64(delta))], 1)
+	bump(&p.wPC[phash(uint64(r.PC), uint64(delta))], 1)
+	bump(&p.wGlob[phash(0, uint64(delta))], 1)
+
+	// Retire any outstanding prediction this read confirms.
+	for i := range p.pend {
+		if p.pend[i].valid && p.pend[i].block == b {
+			p.pend[i].valid = false
+		}
+	}
+
+	p.note(delta)
+	p.prev, p.prevDelta = b, delta
+
+	// Score every candidate delta in the new context and issue the
+	// confident ones, best first, up to the degree.
+	issued := 0
+	for ci := 0; ci < p.candN; ci++ {
+		p.scores[ci] = -1 << 30
+		cand := p.cands[ci]
+		i1 := phash(uint64(delta), uint64(cand))
+		i2 := phash(uint64(r.PC), uint64(cand))
+		i3 := phash(0, uint64(cand))
+		score := int32(p.wCtx[i1]) + int32(p.wPC[i2]) + int32(p.wGlob[i3])
+		if score >= perceptronTheta {
+			p.scores[ci] = score
+		}
+	}
+	for issued < p.degree {
+		best, bestScore := -1, int32(-1<<30)
+		for ci := 0; ci < p.candN; ci++ {
+			if p.scores[ci] > bestScore {
+				best, bestScore = ci, p.scores[ci]
+			}
+		}
+		if best < 0 || bestScore == -1<<30 {
+			break
+		}
+		p.scores[best] = -1 << 30
+		cand := p.cands[best]
+		pb := mem.Block(int64(b) + cand)
+		if pb != b {
+			emit(pb)
+			p.remember(pb,
+				phash(uint64(delta), uint64(cand)),
+				phash(uint64(r.PC), uint64(cand)),
+				phash(0, uint64(cand)))
+			issued++
+		} else {
+			// Degenerate candidate; skip without consuming the budget.
+			continue
+		}
+	}
+}
+
+// remember records an issued prediction, penalizing the one it evicts
+// if that prediction was never consumed.
+func (p *Perceptron) remember(b mem.Block, i1, i2, i3 uint16) {
+	slot := &p.pend[p.pendAt]
+	if slot.valid {
+		bump(&p.wCtx[slot.i1], -1)
+		bump(&p.wPC[slot.i2], -1)
+		bump(&p.wGlob[slot.i3], -1)
+	}
+	*slot = perceptronPred{block: b, i1: i1, i2: i2, i3: i3, valid: true}
+	p.pendAt = (p.pendAt + 1) % perceptronPend
+}
+
+// note inserts delta at the front of the candidate MRU list.
+func (p *Perceptron) note(delta int64) {
+	for i := 0; i < p.candN; i++ {
+		if p.cands[i] == delta {
+			copy(p.cands[1:i+1], p.cands[:i])
+			p.cands[0] = delta
+			return
+		}
+	}
+	if p.candN < perceptronCands {
+		p.candN++
+	}
+	copy(p.cands[1:], p.cands[:perceptronCands-1])
+	p.cands[0] = delta
+}
+
+// bump adjusts a saturating weight by d.
+func bump(w *int8, d int8) {
+	v := int16(*w) + int16(d)
+	if v > perceptronWMax {
+		v = perceptronWMax
+	}
+	if v < -perceptronWMax {
+		v = -perceptronWMax
+	}
+	*w = int8(v)
+}

@@ -57,6 +57,25 @@ type Prefetcher interface {
 	OnRead(r Request, emit func(mem.Block))
 }
 
+// PageCrosser is the optional capability of schemes whose proposals may
+// leave the triggering reference's page. The paper's §2 rule — never
+// prefetch across a page boundary — exists because stride and
+// sequential prefetchers *compute* speculative virtual addresses whose
+// translations may not exist. Correlation-based schemes (Markov
+// pointer-chase) only re-issue addresses that were demand-referenced
+// before, so their translations are known and the machine lifts the
+// page filter for them.
+type PageCrosser interface {
+	CrossesPages() bool
+}
+
+// CrossesPages reports whether p may propose blocks outside the
+// triggering page.
+func CrossesPages(p Prefetcher) bool {
+	c, ok := p.(PageCrosser)
+	return ok && c.CrossesPages()
+}
+
 // None is the baseline architecture: no prefetching.
 type None struct{}
 

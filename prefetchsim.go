@@ -87,6 +87,12 @@ func NewProgram(name string, procs int, body func(p int, g *Gen)) *Program {
 // mp3d, cholesky, water, lu, ocean, pthor.
 func Apps() []string { return apps.Names() }
 
+// ExtraApps lists the built-in workloads outside the paper's six:
+// the §3.1 matmul example and the pointer-heavy kernels (listchase,
+// hashjoin, bfs) added for the prefetcher zoo. Runnable by name,
+// excluded from the default sweeps.
+func ExtraApps() []string { return apps.Extras() }
+
 // BuildApp constructs a built-in application's program without running
 // it (for recording to a trace file, or custom machine drivers).
 func BuildApp(name string, params Params) (*Program, error) {
@@ -132,10 +138,32 @@ const (
 	// built-in applications provide theirs; custom programs pass
 	// Config.StrideHints.
 	Hybrid Scheme = "Hybrid"
+
+	// The "zoo" schemes below are modern prefetchers outside the paper,
+	// added to probe the irregular workloads its §7 leaves open.
+
+	// Markov is correlation-based pointer-chase prefetching (after
+	// Joseph–Grunwald; Srivastava and Navalakha, arXiv:1801.08088): a
+	// table of miss-successor correlations replayed on re-visits. The
+	// only scheme allowed to cross page boundaries, since it re-issues
+	// previously referenced addresses.
+	Markov Scheme = "Markov"
+	// Perceptron is perceptron-learning prefetching (after Wang and Luo,
+	// arXiv:1712.00905): candidate deltas scored by learned saturating
+	// weights over (previous delta, PC, delta) features.
+	Perceptron Scheme = "Perceptron"
+	// BestOff is multi-offset best-offset prefetching (after Michaud;
+	// the multi-stride scheme of Blom et al., arXiv:2412.16001): offsets
+	// that empirically predicted recent misses are adopted for a phase.
+	BestOff Scheme = "BestOffset"
 )
 
 // Schemes lists the Figure 6 schemes in presentation order.
 func Schemes() []Scheme { return []Scheme{IDet, DDet, Seq} }
+
+// ZooSchemes lists the modern prefetchers added beyond the paper, in
+// presentation order.
+func ZooSchemes() []Scheme { return []Scheme{Markov, Perceptron, BestOff} }
 
 // Config describes one simulation.
 type Config struct {
@@ -268,6 +296,12 @@ func newPrefetcher(s Scheme, degree int, hints map[PC]int64) (func(int) prefetch
 		return func(int) prefetch.Prefetcher { return prefetch.NewAdaptive(degree) }, nil
 	case Hybrid:
 		return func(int) prefetch.Prefetcher { return prefetch.NewHybrid(hints, degree) }, nil
+	case Markov:
+		return func(int) prefetch.Prefetcher { return prefetch.NewMarkov(degree) }, nil
+	case Perceptron:
+		return func(int) prefetch.Prefetcher { return prefetch.NewPerceptron(degree) }, nil
+	case BestOff:
+		return func(int) prefetch.Prefetcher { return prefetch.NewBestOffset(degree) }, nil
 	}
 	return nil, fmt.Errorf("prefetchsim: unknown scheme %q", s)
 }

@@ -29,12 +29,27 @@ func perOp(prog *prefetchsim.Program) *prefetchsim.Program {
 func TestBatchedMatchesPerOpStream(t *testing.T) {
 	// matmul streams from a goroutine-free state machine (FuncStream),
 	// mp3d from a producer goroutine (ChanStream): the two BatchStream
-	// implementations the apps use.
-	for _, app := range []string{"matmul", "mp3d"} {
-		t.Run(app, func(t *testing.T) {
+	// implementations the apps use. The pointer kernels pair each zoo
+	// scheme with the workload it targets, under the finite SLC where
+	// those schemes actually fire (Markov additionally exercises the
+	// page-crossing emit path on both stream paths).
+	cases := []struct {
+		app    string
+		scheme prefetchsim.Scheme
+		slc    int
+	}{
+		{"matmul", prefetchsim.Seq, 0},
+		{"mp3d", prefetchsim.Seq, 0},
+		{"listchase", prefetchsim.Markov, prefetchsim.FiniteSLCBytes},
+		{"hashjoin", prefetchsim.Perceptron, prefetchsim.FiniteSLCBytes},
+		{"bfs", prefetchsim.BestOff, prefetchsim.FiniteSLCBytes},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
 			run := func(wrap bool) *prefetchsim.Result {
 				t.Helper()
-				prog, err := prefetchsim.BuildApp(app, prefetchsim.Params{Procs: 4, Seed: 12345})
+				prog, err := prefetchsim.BuildApp(tc.app, prefetchsim.Params{Procs: 4, Seed: 12345})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -42,7 +57,8 @@ func TestBatchedMatchesPerOpStream(t *testing.T) {
 					prog = perOp(prog)
 				}
 				res, err := prefetchsim.Run(prefetchsim.Config{
-					Program: prog, Scheme: prefetchsim.Seq, Processors: 4, Seed: 12345,
+					Program: prog, Scheme: tc.scheme, Processors: 4, Seed: 12345,
+					SLCBytes: tc.slc,
 				})
 				if err != nil {
 					t.Fatal(err)

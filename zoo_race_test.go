@@ -1,0 +1,80 @@
+package prefetchsim_test
+
+// Race-detector coverage for the prefetcher zoo and the pointer
+// kernels. The zoo schemes keep per-node learning state (Markov's
+// correlation table, the perceptron weight banks, BestOffset's recent
+// ring) and the pointer kernels drive the batched streaming path with
+// chase orders built at program construction; this test keeps several
+// such simulations in flight at once so `go test -race` would surface
+// any state accidentally shared across runner workers or machine
+// nodes. Iteration counts follow the racecheck budget: the full suite
+// soaks every scheme x kernel pair several times, the instrumented
+// suite runs each pair once.
+
+import (
+	"reflect"
+	"testing"
+
+	"prefetchsim"
+	"prefetchsim/internal/racecheck"
+)
+
+func TestZooParallelRaceCoverage(t *testing.T) {
+	kernels := []string{"listchase", "hashjoin", "bfs"}
+	reps := racecheck.Scale(3, 1)
+
+	var cfgs []prefetchsim.Config
+	for r := 0; r < reps; r++ {
+		for _, app := range kernels {
+			for _, s := range prefetchsim.ZooSchemes() {
+				cfgs = append(cfgs, prefetchsim.Config{
+					App: app, Scheme: s, Processors: 4, Seed: 12345,
+					SLCBytes: prefetchsim.FiniteSLCBytes,
+				})
+			}
+		}
+	}
+
+	results, errs := prefetchsim.RunMany(cfgs, 8, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cfgs[i].App, cfgs[i].Scheme, err)
+		}
+	}
+
+	// Concurrency must not perturb results: every repetition of a
+	// (kernel, scheme) pair ran from an identical config, so all its
+	// stats must be identical too.
+	byPair := map[string]*prefetchsim.Result{}
+	for i, res := range results {
+		key := cfgs[i].App + "/" + string(cfgs[i].Scheme)
+		if first, ok := byPair[key]; ok {
+			if !reflect.DeepEqual(first.Stats, res.Stats) {
+				t.Errorf("%s: concurrent identical runs diverge", key)
+			}
+			continue
+		}
+		byPair[key] = res
+	}
+
+	// And the learning schemes must actually have fired on their home
+	// workloads, so the race detector saw the learning paths, not idle
+	// ones: Markov on every kernel (all are re-traversals), and at least
+	// one scheme issuing on each kernel.
+	for _, app := range kernels {
+		issued := false
+		for _, s := range prefetchsim.ZooSchemes() {
+			res := byPair[app+"/"+string(s)]
+			n := res.Stats.TotalPrefetchesIssued()
+			if n > 0 {
+				issued = true
+			}
+			if s == prefetchsim.Markov && n == 0 {
+				t.Errorf("Markov issued no prefetches on %s under the finite SLC", app)
+			}
+		}
+		if !issued {
+			t.Errorf("no zoo scheme issued a single prefetch on %s", app)
+		}
+	}
+}
