@@ -1,0 +1,304 @@
+// Command prefetchctl is the prefetchd client: submit jobs, follow
+// their rows or progress, fetch results, cancel.
+//
+//	prefetchctl -addr 127.0.0.1:8080 submit -app matmul -scheme Seq -stream
+//	prefetchctl submit -figure6 -apps lu,mp3d -schemes Seq -procs 4
+//	prefetchctl watch j1
+//	prefetchctl fetch j1
+//	prefetchctl cancel j1
+//	prefetchctl list
+//	prefetchctl status
+//
+// submit builds the job spec from flags (or takes it verbatim via
+// -spec / -f). With -stream the NDJSON stream goes to stdout and the
+// exit status reflects the job's terminal state; without it the
+// submission record prints and the job runs server-side.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prefetchctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: prefetchctl [-addr host:port] <command> [flags]
+
+commands:
+  submit   submit a job (see prefetchctl submit -h)
+  watch    follow a job's progress events      (watch <id>)
+  fetch    stream a job's NDJSON result        (fetch <id>)
+  cancel   cancel a job                        (cancel <id>)
+  list     list jobs
+  status   print the server status snapshot
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", envOr("PREFETCHD_ADDR", "127.0.0.1:8080"), "prefetchd address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	base := "http://" + *addr
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "submit":
+		cmdSubmit(base, args)
+	case "watch":
+		cmdWatch(base, args)
+	case "fetch":
+		cmdFetch(base, args)
+	case "cancel":
+		cmdCancel(base, args)
+	case "list":
+		cmdGet(base + "/jobs")
+	case "status":
+		cmdGet(base + "/status")
+	default:
+		usage()
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// spec mirrors prefetchd's jobSpec (the wire format).
+type spec struct {
+	Kind    string         `json:"kind,omitempty"`
+	Config  map[string]any `json:"config,omitempty"`
+	Spans   bool           `json:"spans,omitempty"`
+	Apps    []string       `json:"apps,omitempty"`
+	Schemes []string       `json:"schemes,omitempty"`
+	Procs   int            `json:"procs,omitempty"`
+	Scale   int            `json:"scale,omitempty"`
+	Seed    uint64         `json:"seed,omitempty"`
+	Finite  bool           `json:"finite,omitempty"`
+	Metrics bool           `json:"metrics,omitempty"`
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func cmdSubmit(base string, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		specJSON = fs.String("spec", "", "job spec JSON (verbatim; overrides the other flags)")
+		specFile = fs.String("f", "", "read the job spec JSON from a file (- = stdin)")
+		stream   = fs.Bool("stream", false, "stream the job's NDJSON to stdout")
+
+		figure6 = fs.Bool("figure6", false, "submit a Figure-6 sweep instead of a single run")
+		apps    = fs.String("apps", "", "sweep: comma-separated applications (default: all)")
+		schemes = fs.String("schemes", "", "sweep: comma-separated schemes (default: I-det,D-det,Seq)")
+		finite  = fs.Bool("finite", false, "sweep: finite §5.3 SLC")
+
+		app    = fs.String("app", "", "run: application")
+		scheme = fs.String("scheme", "", "run: prefetch scheme (default baseline)")
+		degree = fs.Int("degree", 0, "run: prefetch degree")
+		slc    = fs.Int("slc", 0, "run: SLC bytes (0 = infinite)")
+		ways   = fs.Int("ways", 0, "run: SLC associativity")
+		sc     = fs.Bool("sc", false, "run: sequential consistency")
+		bw     = fs.Int("bw", 0, "run: bandwidth division factor")
+		spans  = fs.Bool("spans", false, "run: include the span summary")
+
+		procs   = fs.Int("procs", 0, "processors (default 16)")
+		scale   = fs.Int("scale", 0, "data-set scale (default 1)")
+		seed    = fs.Uint64("seed", 0, "workload seed")
+		metrics = fs.Bool("metrics", false, "include metric totals")
+	)
+	fs.Parse(args)
+
+	var body []byte
+	switch {
+	case *specJSON != "":
+		body = []byte(*specJSON)
+	case *specFile != "":
+		var err error
+		if *specFile == "-" {
+			body, err = io.ReadAll(os.Stdin)
+		} else {
+			body, err = os.ReadFile(*specFile)
+		}
+		if err != nil {
+			fatalf("read spec: %v", err)
+		}
+	case *figure6:
+		body = mustMarshal(spec{
+			Kind: "figure6", Apps: splitList(*apps), Schemes: splitList(*schemes),
+			Procs: *procs, Scale: *scale, Seed: *seed, Finite: *finite, Metrics: *metrics,
+		})
+	case *app != "":
+		cfg := map[string]any{"app": *app}
+		set := func(k string, v any, zero bool) {
+			if !zero {
+				cfg[k] = v
+			}
+		}
+		set("scheme", *scheme, *scheme == "")
+		set("degree", *degree, *degree == 0)
+		set("processors", *procs, *procs == 0)
+		set("slc_bytes", *slc, *slc == 0)
+		set("slc_ways", *ways, *ways == 0)
+		set("scale", *scale, *scale == 0)
+		set("seed", *seed, *seed == 0)
+		set("sequential_consistency", *sc, !*sc)
+		set("bandwidth_factor", *bw, *bw == 0)
+		body = mustMarshal(spec{Kind: "run", Config: cfg, Spans: *spans, Metrics: *metrics})
+	default:
+		fatalf("submit: need -app, -figure6, -spec or -f (see submit -h)")
+	}
+
+	url := base + "/jobs"
+	if *stream {
+		url += "?stream=1"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if *stream {
+		copyStream(resp)
+		return
+	}
+	copyBody(resp)
+}
+
+// copyStream relays an NDJSON stream to stdout and exits non-zero
+// unless the done trailer reports a successful job.
+func copyStream(resp *http.Response) {
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(os.Stderr, resp.Body)
+		fatalf("server returned %s", resp.Status)
+	}
+	status := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(nil, 1<<20)
+	out := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		out.Write(sc.Bytes())
+		out.WriteByte('\n')
+		var probe struct {
+			Type   string `json:"type"`
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(sc.Bytes(), &probe) == nil && probe.Type == "done" {
+			status = probe.Status
+		}
+	}
+	out.Flush()
+	if err := sc.Err(); err != nil {
+		fatalf("stream: %v", err)
+	}
+	if status != "done" {
+		fatalf("job ended %q", status)
+	}
+}
+
+// copyBody relays a JSON response to stdout, failing on error codes.
+func copyBody(resp *http.Response) {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("read response: %v", err)
+	}
+	if resp.StatusCode >= 400 {
+		os.Stderr.Write(body)
+		fatalf("server returned %s", resp.Status)
+	}
+	os.Stdout.Write(body)
+}
+
+func cmdWatch(base string, args []string) {
+	if len(args) != 1 {
+		fatalf("usage: watch <id>")
+	}
+	resp, err := http.Get(base + "/jobs/" + args[0] + "/events")
+	if err != nil {
+		fatalf("watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(os.Stderr, resp.Body)
+		fatalf("server returned %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			fmt.Println(data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("watch: %v", err)
+	}
+}
+
+func cmdFetch(base string, args []string) {
+	if len(args) != 1 {
+		fatalf("usage: fetch <id>")
+	}
+	resp, err := http.Get(base + "/jobs/" + args[0] + "/stream")
+	if err != nil {
+		fatalf("fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	copyStream(resp)
+}
+
+func cmdCancel(base string, args []string) {
+	if len(args) != 1 {
+		fatalf("usage: cancel <id>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+args[0], nil)
+	if err != nil {
+		fatalf("cancel: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("cancel: %v", err)
+	}
+	defer resp.Body.Close()
+	copyBody(resp)
+}
+
+func cmdGet(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("get %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	copyBody(resp)
+}
+
+func mustMarshal(v any) []byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		fatalf("marshal spec: %v", err)
+	}
+	return buf
+}

@@ -1,0 +1,82 @@
+// Command prefetchd serves the simulator as a long-lived HTTP job
+// service: POST a job spec (a single run config or a Figure-6 sweep),
+// follow its rows as NDJSON or its progress as server-sent events, and
+// repeated submissions of the same spec are answered from a persistent
+// content-addressed result cache without re-simulating — the simulator
+// is deterministic, so equal spec digests mean byte-identical rows.
+//
+//	prefetchd -http 127.0.0.1:8080 -cache-dir /var/cache/prefetchd
+//
+// API (plus webstatus's /status and /healthz):
+//
+//	POST   /jobs            submit a spec; ?stream=1 streams NDJSON
+//	GET    /jobs            list jobs
+//	GET    /jobs/{id}       one job's record
+//	GET    /jobs/{id}/stream  replay + follow the job's NDJSON
+//	GET    /jobs/{id}/events  progress as server-sent events
+//	DELETE /jobs/{id}       cancel
+//
+// SIGINT/SIGTERM drains: new submissions get 503, in-flight jobs get
+// -drain-timeout to finish (then are cancelled), the cache index is
+// persisted, and only then does the listener close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prefetchsim/internal/resultcache"
+	"prefetchsim/internal/webstatus"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:8080", "listen address (host:port, port 0 = ephemeral)")
+		cacheDir = flag.String("cache-dir", "prefetchd-cache", "result cache directory")
+		cacheMax = flag.Int64("cache-max-bytes", 256<<20, "result cache size budget in bytes")
+		maxJobs  = flag.Int("max-jobs", 2, "jobs computing concurrently (queued beyond that)")
+		workers  = flag.Int("j", 0, "simulation workers per job (0 = GOMAXPROCS)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "shutdown: grace for in-flight jobs before cancelling them")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	store, err := resultcache.Open(*cacheDir, *cacheMax)
+	if err != nil {
+		log.Fatalf("prefetchd: open cache: %v", err)
+	}
+	s := newServer(store, *workers, *maxJobs)
+
+	srv, err := webstatus.ServeMux(*httpAddr, s.status, s.register)
+	if err != nil {
+		log.Fatalf("prefetchd: listen: %v", err)
+	}
+	// The smoke script and tests parse this line for the bound address
+	// (meaningful with -http :0).
+	fmt.Printf("prefetchd: serving on http://%s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("prefetchd: draining")
+
+	// Drain order: stop admissions and settle jobs, close the listener
+	// gracefully (in-flight status requests finish), then persist the
+	// cache index.
+	s.drain(*drainT)
+	ctx, cancel := context.WithTimeout(context.Background(), webstatus.CloseTimeout)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("prefetchd: http shutdown: %v", err)
+	}
+	cancel()
+	if err := store.Close(); err != nil {
+		log.Printf("prefetchd: close cache: %v", err)
+	}
+	fmt.Println("prefetchd: stopped")
+}

@@ -1,0 +1,529 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prefetchsim"
+	"prefetchsim/internal/obs"
+	"prefetchsim/internal/resultcache"
+	"prefetchsim/internal/runner"
+	"prefetchsim/internal/webstatus"
+)
+
+// server owns the job table, the admission semaphore, the in-flight
+// dedup and the persistent result cache. Request handlers only read
+// and enqueue; simulations run on per-job goroutines accounted by wg
+// so shutdown can drain them.
+type server struct {
+	store   *resultcache.Store
+	workers int           // simulation workers per job
+	sem     chan struct{} // admission: at most cap(sem) jobs computing
+	start   time.Time
+
+	// flight dedups concurrent identical submissions: the first owns
+	// the computation, the rest share its payload. Keys are forgotten
+	// once the payload is durably in store, so flight never grows.
+	flight runner.Cache[string, []byte]
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	wg sync.WaitGroup // in-flight job goroutines
+
+	hits, misses, coalesced atomic.Int64
+}
+
+func newServer(store *resultcache.Store, workers, maxJobs int) *server {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	return &server{
+		store:   store,
+		workers: workers,
+		sem:     make(chan struct{}, maxJobs),
+		start:   time.Now(),
+		jobs:    make(map[string]*job),
+	}
+}
+
+// errDraining rejects submissions during shutdown.
+var errDraining = errors.New("server is draining")
+
+// submit registers a normalized spec as a job. Cache hits are born
+// terminal with the stored payload; misses start computing on their
+// own goroutine.
+func (s *server) submit(spec jobSpec) (*job, error) {
+	digest := spec.digest()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := newJob(id, spec, digest)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+
+	readStart := time.Now()
+	payload, hit := s.store.Get(digest)
+	if hit {
+		s.hits.Add(1)
+		j.completeCached(payload, time.Since(readStart))
+		s.mu.Unlock()
+		return j, nil
+	}
+	s.misses.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	j.setCache("miss")
+	go s.runJob(ctx, j)
+	return j, nil
+}
+
+// runJob takes the job through admission, computes (or coalesces onto
+// an identical in-flight computation), persists the payload and
+// settles the job's terminal state.
+func (s *server) runJob(ctx context.Context, j *job) {
+	defer s.wg.Done()
+	defer j.cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		j.finish(statusCancelled, 0, ctx.Err())
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		j.finish(statusCancelled, 0, err)
+		return
+	}
+
+	j.start()
+	start := time.Now()
+	owned := false
+	payload, err := s.flight.DoCtx(ctx, j.digest, func(ctx context.Context) ([]byte, error) {
+		owned = true
+		return s.compute(ctx, j)
+	})
+	wall := time.Since(start)
+	switch {
+	case err == nil:
+		if owned {
+			if perr := s.store.Put(j.digest, payload); perr != nil {
+				log.Printf("prefetchd: cache put %s: %v", j.digest, perr)
+			}
+			s.flight.Forget(j.digest)
+		} else {
+			// Coalesced onto another job's computation: the payload
+			// arrives whole, not streamed row by row.
+			s.coalesced.Add(1)
+			j.setCache("coalesced")
+			j.appendPayload(splitLines(payload)...)
+		}
+		j.finish(statusDone, wall, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(statusCancelled, wall, err)
+	default:
+		j.finish(statusFailed, wall, err)
+	}
+}
+
+// compute runs the simulation(s) and returns the deterministic payload
+// blob, streaming each payload line into j as it is produced.
+func (s *server) compute(ctx context.Context, j *job) ([]byte, error) {
+	if j.spec.Kind == kindRun {
+		return s.computeRun(ctx, j)
+	}
+	return s.computeFig6(ctx, j)
+}
+
+func (s *server) computeRun(ctx context.Context, j *job) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rc := *j.spec.Config
+	cfg := prefetchsim.Config{
+		App:                   rc.App,
+		Scheme:                prefetchsim.Scheme(rc.Scheme),
+		Degree:                rc.Degree,
+		Processors:            rc.Processors,
+		SLCBytes:              rc.SLCBytes,
+		SLCWays:               rc.SLCWays,
+		Scale:                 rc.Scale,
+		Seed:                  rc.Seed,
+		SequentialConsistency: rc.SequentialConsistency,
+		BandwidthFactor:       rc.BandwidthFactor,
+		CollectMetrics:        j.spec.Metrics,
+	}
+	if j.spec.Spans {
+		cfg.Spans = &prefetchsim.SpanConfig{}
+	}
+	res, err := prefetchsim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	j.setProgress(1, 1)
+
+	texts := prefetchsim.StatsLines(res.Stats)
+	var lines [][]byte
+	for i, t := range texts {
+		lines = append(lines, mustJSON(rowLine{Type: "row", I: i, Total: len(texts), Text: t}))
+	}
+	if j.spec.Metrics {
+		lines = append(lines, mustJSON(metricsLine{Type: "metrics", Totals: res.Metrics.Totals()}))
+	}
+	if j.spec.Spans && res.Spans != nil && res.SpanTrace != nil {
+		sum := obs.SummarizeSpanStats(res.Spans, *res.SpanTrace)
+		lines = append(lines, mustJSON(spansLine{Type: "spans", Summary: sum}))
+	}
+	lines = append(lines, mustJSON(resultLine{
+		Type: "result", Kind: kindRun, Rows: len(texts),
+		RowsDigest:   prefetchsim.DigestRows(texts),
+		StatsDigest:  prefetchsim.StatsDigest(res.Stats),
+		ConfigDigest: rc.Digest(),
+		VirtualTime:  int64(res.Stats.ExecTime),
+	}))
+	j.appendPayload(lines...)
+	return joinLines(lines), nil
+}
+
+func (s *server) computeFig6(ctx context.Context, j *job) ([]byte, error) {
+	spec := j.spec
+	schemes := make([]prefetchsim.Scheme, len(spec.Schemes))
+	for i, sc := range spec.Schemes {
+		schemes[i] = prefetchsim.Scheme(sc)
+	}
+
+	// Rows are streamed in submission order as their contiguous prefix
+	// completes, so the live stream is byte-identical to the cached
+	// payload no matter how many workers race. Callbacks are
+	// serialized by the pool, so pending/next need no lock.
+	var all [][]byte
+	total := spec.totalSims()
+	var texts []string
+	pending := make(map[int]string)
+	next := 0
+	onRow := func(i, tot int, row fmt.Stringer) {
+		pending[i] = row.String()
+		var emit [][]byte
+		for {
+			text, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			texts = append(texts, text)
+			emit = append(emit, mustJSON(rowLine{Type: "row", I: next, Total: tot, Text: text}))
+			next++
+		}
+		if len(emit) > 0 {
+			all = append(all, emit...)
+			j.appendPayload(emit...)
+		}
+	}
+
+	opt := prefetchsim.ExpOptions{
+		Ctx:          ctx,
+		Procs:        spec.Procs,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed,
+		Apps:         spec.Apps,
+		Workers:      s.workers,
+		OnRowIndexed: onRow,
+		Progress:     j.setProgress,
+	}
+	var rec *prefetchsim.ManifestRecorder
+	if spec.Metrics {
+		rec = new(prefetchsim.ManifestRecorder)
+		opt.Record = rec
+	}
+	var err error
+	if spec.Finite {
+		_, err = prefetchsim.Figure6Finite(opt, schemes...)
+	} else {
+		_, err = prefetchsim.Figure6(opt, schemes...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(texts) != total {
+		return nil, fmt.Errorf("streamed %d of %d rows", len(texts), total)
+	}
+
+	var tail [][]byte
+	if rec != nil {
+		tail = append(tail, mustJSON(metricsLine{Type: "metrics", Totals: rec.Totals()}))
+	}
+	tail = append(tail, mustJSON(resultLine{
+		Type: "result", Kind: kindFig6, Rows: len(texts),
+		RowsDigest: prefetchsim.DigestRows(texts),
+	}))
+	all = append(all, tail...)
+	j.appendPayload(tail...)
+	return joinLines(all), nil
+}
+
+// getJob looks a job up by id.
+func (s *server) getJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// cancelJob requests cancellation; the job settles to its terminal
+// state asynchronously (an in-flight simulation completes first).
+// Reports whether the job exists.
+func (s *server) cancelJob(id string) (*job, bool) {
+	j := s.getJob(id)
+	if j == nil {
+		return nil, false
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return j, true
+}
+
+// drain stops admitting jobs, waits up to timeout for in-flight ones,
+// then cancels the stragglers and waits for them to settle.
+func (s *server) drain(timeout time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return
+	case <-time.After(timeout):
+	}
+	log.Printf("prefetchd: drain timeout after %v, cancelling in-flight jobs", timeout)
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-done
+}
+
+// status is the webstatus snapshot: job counts by state plus cache
+// counters.
+func (s *server) status() webstatus.Status {
+	s.mu.Lock()
+	counts := map[string]int64{}
+	finished, rows := 0, 0
+	for _, j := range s.jobs {
+		rec := j.record()
+		counts["jobs."+rec.Status]++
+		if terminal(rec.Status) {
+			finished++
+		}
+		rows += rec.Rows
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+
+	counts["cache.objects"] = int64(s.store.Len())
+	counts["cache.bytes"] = s.store.Bytes()
+	counts["cache.evictions"] = s.store.Evictions()
+	counts["cache.hits"] = s.hits.Load()
+	counts["cache.misses"] = s.misses.Load()
+	counts["cache.coalesced"] = s.coalesced.Load()
+	return webstatus.Status{
+		Tool: "prefetchd", Done: finished, Total: total, Rows: rows,
+		Metrics:     counts,
+		StartUnixNS: s.start.UnixNano(),
+		UptimeNS:    time.Since(s.start).Nanoseconds(),
+	}
+}
+
+// register mounts the job API on the webstatus mux (which already
+// serves /status and /healthz).
+func (s *server) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf := mustJSON(v)
+	w.Write(append(buf, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec jobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	spec, err := spec.normalize()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamJob(w, r, j)
+		return
+	}
+	code := http.StatusAccepted
+	if rec := j.record(); terminal(rec.Status) {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, j.record())
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	recs := make([]jobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		recs = append(recs, s.jobs[id].record())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.record())
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.record())
+}
+
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	s.streamJob(w, r, j)
+}
+
+// streamJob writes the job's NDJSON stream: a per-request job header,
+// the (cached or live) payload lines, and a per-request done trailer.
+// The payload lines between header and trailer are byte-identical
+// across requests for the same spec — that is the cache contract.
+func (s *server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	writeLine := func(line []byte) {
+		w.Write(line)
+		w.Write([]byte{'\n'})
+	}
+
+	writeLine(mustJSON(jobLine{Type: "job", jobRecord: j.record()}))
+	flush()
+
+	seen := 0
+	for {
+		lines, rec, finished, ok := j.next(r.Context().Done(), seen)
+		if !ok {
+			return // client went away
+		}
+		for _, l := range lines {
+			writeLine(l)
+		}
+		seen += len(lines)
+		flush()
+		if finished {
+			writeLine(mustJSON(doneLine{
+				Type: "done", Status: rec.Status, Cache: rec.Cache,
+				Rows: rec.Rows, WallNS: rec.WallNS, Error: rec.Error,
+			}))
+			flush()
+			return
+		}
+	}
+}
+
+// handleEvents serves job progress as server-sent events: one
+// "progress" event per state change, a final "done" event, then EOF.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+
+	var last jobRecord
+	first := true
+	for {
+		j.mu.Lock()
+		rec := j.recordLocked()
+		ch := j.notify
+		j.mu.Unlock()
+		if first || rec != last {
+			event := "progress"
+			if terminal(rec.Status) {
+				event = "done"
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, mustJSON(rec))
+			if fl != nil {
+				fl.Flush()
+			}
+			last, first = rec, false
+		}
+		if terminal(rec.Status) {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package prefetchsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -28,6 +29,12 @@ const FiniteSLCBytes = 16384
 
 // ExpOptions parameterize an experiment sweep.
 type ExpOptions struct {
+	// Ctx, when non-nil, bounds the sweep: once it ends, simulations
+	// not yet started are skipped (their jobs fail with ctx.Err()) while
+	// in-flight ones run to completion. Nil means no cancellation — the
+	// sweep always runs to the end. A job server uses this to cancel
+	// queued work without tearing the process down.
+	Ctx context.Context
 	// Procs is the machine size (default 16, the paper's).
 	Procs int
 	// Scale multiplies data-set sizes (default 1 = the paper's inputs).
@@ -48,11 +55,25 @@ type ExpOptions struct {
 	// order, serialized) as the sweep executes, before the full row
 	// slice is returned. Rows of failed jobs are not streamed.
 	OnRow func(done, total int, row fmt.Stringer)
+	// OnRowIndexed is OnRow with the row's submission index: callers
+	// that must re-emit rows in deterministic submission order (the job
+	// server streams the contiguous completed prefix) need to know
+	// which row landed, not just how many. Same serialization contract
+	// as OnRow.
+	OnRowIndexed func(i, total int, row fmt.Stringer)
 	// Record, when non-nil, collects one provenance manifest — config,
 	// wall and virtual time, stats digest, metric totals — per
 	// simulation the sweep executes (including shared baselines, once
 	// each). See ManifestRecorder.
 	Record *ManifestRecorder
+}
+
+// ctx resolves the sweep's cancellation context (nil = never ends).
+func (o ExpOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -87,20 +108,25 @@ func (o ExpOptions) run(cfg Config) (*Result, error) {
 
 // mapRows fans a sweep's jobs across the worker pool and streams every
 // finished row to OnRow (and the count to Progress) as it lands, then
-// gathers the submission-ordered rows.
+// gathers the submission-ordered rows. A cancelled ExpOptions.Ctx
+// skips the jobs not yet started.
 func mapRows[J any, R fmt.Stringer](o ExpOptions, jobs []J, fn func(i int, j J) (R, error)) ([]R, error) {
 	var each func(done, total, i int, r R, err error)
-	if o.Progress != nil || o.OnRow != nil {
-		each = func(done, total, _ int, r R, err error) {
+	if o.Progress != nil || o.OnRow != nil || o.OnRowIndexed != nil {
+		each = func(done, total, i int, r R, err error) {
 			if o.OnRow != nil && err == nil {
 				o.OnRow(done, total, r)
+			}
+			if o.OnRowIndexed != nil && err == nil {
+				o.OnRowIndexed(i, total, r)
 			}
 			if o.Progress != nil {
 				o.Progress(done, total)
 			}
 		}
 	}
-	rows, errs := runner.MapEach(o.Workers, jobs, fn, each)
+	rows, errs := runner.MapEachCtx(o.ctx(), o.Workers, jobs,
+		func(_ context.Context, i int, j J) (R, error) { return fn(i, j) }, each)
 	return gather(rows, errs)
 }
 
@@ -560,7 +586,7 @@ func AssocSweep(app string, ways []int, o ExpOptions) ([]AssocRow, error) {
 	o = o.withDefaults()
 	// The runs are independent; only the relative-misses column depends
 	// on the first (direct-mapped) run, so normalize after the fan-out.
-	results, errs := runner.Map(o.Workers, ways, func(_ int, w int) (*Result, error) {
+	results, errs := runner.MapCtx(o.ctx(), o.Workers, ways, func(_ context.Context, _ int, w int) (*Result, error) {
 		return o.run(Config{App: app, Processors: o.Procs, Scale: o.Scale,
 			Seed: o.Seed, SLCBytes: FiniteSLCBytes, SLCWays: w})
 	}, o.Progress)

@@ -33,6 +33,22 @@ type RunConfig struct {
 	BandwidthFactor       int    `json:"bandwidth_factor"`
 }
 
+// Digest is the content address of the configuration: the SHA-256 of
+// its canonical JSON encoding (fixed field order, no indentation).
+// Every knob that shapes a run's result — including the seed — is part
+// of RunConfig, so two runs with equal digests produce byte-identical
+// statistics, which is what lets a result cache serve the second one
+// without simulating.
+func (c RunConfig) Digest() string {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		// RunConfig is a flat struct of scalars; Marshal cannot fail.
+		panic("obs: marshal RunConfig: " + err.Error())
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
 // Manifest is the provenance record of one simulation run: enough to
 // reproduce it (config, seed, toolchain, source revision) and enough
 // to check it (the stats digest and the metric totals). One run, one
@@ -43,6 +59,9 @@ type Manifest struct {
 	GitSHA        string    `json:"git_sha,omitempty"`
 	CreatedUnixNS int64     `json:"created_unix_ns,omitempty"`
 	Config        RunConfig `json:"config"`
+	// ConfigDigest is Config.Digest(): the content address a result
+	// cache keys this run under.
+	ConfigDigest string `json:"config_digest,omitempty"`
 	// WallNS is the run's host wall-clock duration.
 	WallNS int64 `json:"wall_ns"`
 	// VirtualTime is the simulated execution time in pclocks.

@@ -19,6 +19,11 @@ func sampleManifest() *Manifest {
 			SLCBytes: 16384, SLCWays: 2, Scale: 1, Seed: 12345,
 			SequentialConsistency: true, BandwidthFactor: 2,
 		},
+		ConfigDigest: RunConfig{
+			App: "matmul", Scheme: "Seq", Degree: 2, Processors: 4,
+			SLCBytes: 16384, SLCWays: 2, Scale: 1, Seed: 12345,
+			SequentialConsistency: true, BandwidthFactor: 2,
+		}.Digest(),
 		WallNS:      123456789,
 		VirtualTime: 987654,
 		StatsDigest: DigestStrings([]string{"a", "b"}),
@@ -92,6 +97,39 @@ func TestSweepManifestRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, sm) {
 		t.Fatalf("sweep round trip diverged:\ngot  %+v\nwant %+v", got, sm)
+	}
+}
+
+// TestRunConfigDigest pins the content-address contract: equal configs
+// share a digest, any field change (the seed included) moves it, and
+// the digest is stable hex SHA-256.
+func TestRunConfigDigest(t *testing.T) {
+	base := sampleManifest().Config
+	d := base.Digest()
+	if len(d) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(d))
+	}
+	if base.Digest() != d {
+		t.Fatal("digest not deterministic")
+	}
+	mutations := map[string]func(*RunConfig){
+		"app":    func(c *RunConfig) { c.App = "lu" },
+		"scheme": func(c *RunConfig) { c.Scheme = "I-det" },
+		"degree": func(c *RunConfig) { c.Degree++ },
+		"procs":  func(c *RunConfig) { c.Processors *= 2 },
+		"slc":    func(c *RunConfig) { c.SLCBytes *= 2 },
+		"ways":   func(c *RunConfig) { c.SLCWays++ },
+		"scale":  func(c *RunConfig) { c.Scale++ },
+		"seed":   func(c *RunConfig) { c.Seed++ },
+		"sc":     func(c *RunConfig) { c.SequentialConsistency = false },
+		"bw":     func(c *RunConfig) { c.BandwidthFactor++ },
+	}
+	for name, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if c.Digest() == d {
+			t.Errorf("%s: digest unchanged after mutation", name)
+		}
 	}
 }
 

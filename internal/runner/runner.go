@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -74,6 +75,26 @@ func Map[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), prog
 // manifests, live metric totals) as they land instead of waiting for
 // the whole fan-out.
 func MapEach[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), each func(done, total, i int, r R, err error)) ([]R, []error) {
+	return MapEachCtx(context.Background(), workers, jobs,
+		func(_ context.Context, i int, job J) (R, error) { return fn(i, job) }, each)
+}
+
+// MapCtx is Map with cancellation: see MapEachCtx.
+func MapCtx[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, i int, job J) (R, error), progress func(done, total int)) ([]R, []error) {
+	var each func(done, total, i int, r R, err error)
+	if progress != nil {
+		each = func(done, total, _ int, _ R, _ error) { progress(done, total) }
+	}
+	return MapEachCtx(ctx, workers, jobs, fn, each)
+}
+
+// MapEachCtx is MapEach with cancellation: once ctx is done, jobs not
+// yet started are skipped — their error slots record ctx.Err() and
+// each still fires for them, so done reaches the total either way.
+// Jobs already in flight run to completion (fn receives ctx and may
+// shorten its own work). The results of jobs that finished before the
+// cancellation are kept.
+func MapEachCtx[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, i int, job J) (R, error), each func(done, total, i int, r R, err error)) ([]R, []error) {
 	results := make([]R, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
@@ -81,10 +102,19 @@ func MapEach[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), 
 	}
 	workers = Normalize(workers, len(jobs))
 
+	// runJob skips (rather than runs) the job once ctx is cancelled.
+	runJob := func(i int) (R, error) {
+		if err := ctx.Err(); err != nil {
+			var zero R
+			return zero, err
+		}
+		return fn(ctx, i, jobs[i])
+	}
+
 	if workers == 1 {
 		// Serial reference path: in order, on the calling goroutine.
-		for i, job := range jobs {
-			results[i], errs[i] = fn(i, job)
+		for i := range jobs {
+			results[i], errs[i] = runJob(i)
 			if each != nil {
 				each(i+1, len(jobs), i, results[i], errs[i])
 			}
@@ -110,7 +140,7 @@ func MapEach[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), 
 				if i >= len(jobs) {
 					return
 				}
-				r, err := fn(i, jobs[i])
+				r, err := runJob(i)
 				mu.Lock()
 				results[i], errs[i] = r, err
 				done++
@@ -133,6 +163,7 @@ func MapEach[J, R any](workers int, jobs []J, fn func(i int, job J) (R, error), 
 type Cache[K comparable, V any] struct {
 	mu sync.Mutex
 	m  map[K]*cacheEntry[V]
+	cm map[K]*flight[V] // DoCtx's key space (successes only)
 }
 
 type cacheEntry[V any] struct {
@@ -158,9 +189,89 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
-// Len reports the number of distinct keys seen.
+// flight is one in-progress or memoized DoCtx computation. err is only
+// read after done is closed; a failed flight is removed from the map
+// before done closes, so only successes are ever found by later
+// callers.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// DoCtx is the serving-path variant of Do: singleflight with
+// cancellation, designed for long-lived caches fed by request
+// handlers. It differs from Do in three ways:
+//
+//   - Errors are not memoized. A failed computation is forgotten, so
+//     the next caller of the key retries instead of replaying a stale
+//     failure forever.
+//   - A waiter whose ctx ends returns ctx.Err() immediately; the
+//     computation it was waiting on keeps running for the others.
+//   - A computing caller whose ctx dies mid-fn (fn returning the
+//     cancellation error) does not poison the entry: the key is
+//     forgotten and later callers compute it fresh.
+//
+// Do and DoCtx keep separate key spaces; a Cache may use either or
+// both.
+func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, error) {
+	var zero V
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		c.mu.Lock()
+		if c.cm == nil {
+			c.cm = make(map[K]*flight[V])
+		}
+		f := c.cm[key]
+		if f == nil {
+			// This caller owns the computation.
+			f = &flight[V]{done: make(chan struct{})}
+			c.cm[key] = f
+			c.mu.Unlock()
+			f.val, f.err = fn(ctx)
+			c.mu.Lock()
+			// Forget failures (cancellation included) — but only our own
+			// flight: a Forget during the computation may have installed
+			// a successor that must not be clobbered.
+			if f.err != nil && c.cm[key] == f {
+				delete(c.cm, key)
+			}
+			c.mu.Unlock()
+			close(f.done)
+			return f.val, f.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				return f.val, nil
+			}
+			// The owner failed; loop and retry (perhaps becoming the
+			// new owner) rather than inheriting its error.
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Forget drops key from DoCtx's memo, so the next DoCtx caller
+// computes it fresh. A server whose results persist elsewhere (the
+// on-disk result cache) forgets each key once it is durably stored,
+// keeping DoCtx a pure in-flight dedup rather than a second,
+// unbounded in-memory cache. An in-flight computation is unaffected:
+// its waiters still share its outcome.
+func (c *Cache[K, V]) Forget(key K) {
+	c.mu.Lock()
+	delete(c.cm, key)
+	c.mu.Unlock()
+}
+
+// Len reports the number of distinct keys seen (Do and DoCtx key
+// spaces combined; failed DoCtx keys are forgotten, not counted).
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.m) + len(c.cm)
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -223,6 +224,270 @@ func TestCacheDistinctKeys(t *testing.T) {
 	}
 	if c.Len() != 3 {
 		t.Fatalf("cache holds %d keys, want 3", c.Len())
+	}
+}
+
+// TestMapCtxCancelSkipsRemaining: once the context ends, jobs not yet
+// started are skipped with ctx.Err() in their slots while results that
+// already landed are kept — in both the serial and the parallel pool.
+func TestMapCtxCancelSkipsRemaining(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			const n = 8
+			jobs := make([]int, n)
+			var ran atomic.Int32
+			results, errs := MapCtx(ctx, workers, jobs, func(ctx context.Context, i, _ int) (int, error) {
+				ran.Add(1)
+				if i == workers-1 { // last job of the first batch
+					cancel()
+				}
+				return i + 1, nil
+			}, nil)
+			if got := int(ran.Load()); got >= n {
+				t.Fatalf("all %d jobs ran despite cancellation", got)
+			}
+			var kept, skipped int
+			for i := range jobs {
+				switch {
+				case errs[i] == nil:
+					kept++
+					if results[i] != i+1 {
+						t.Errorf("job %d: result %d, want %d", i, results[i], i+1)
+					}
+				case errors.Is(errs[i], context.Canceled):
+					skipped++
+					if results[i] != 0 {
+						t.Errorf("skipped job %d has result %d", i, results[i])
+					}
+				default:
+					t.Errorf("job %d: unexpected error %v", i, errs[i])
+				}
+			}
+			if kept == 0 || skipped == 0 {
+				t.Fatalf("kept %d skipped %d, want both nonzero", kept, skipped)
+			}
+		})
+	}
+}
+
+// TestMapEachCtxCancelledJobsStillReported: each fires for skipped jobs
+// too, so done still reaches the total after a cancellation.
+func TestMapEachCtxCancelledJobsStillReported(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // everything is skipped
+	jobs := []int{1, 2, 3}
+	var calls int
+	_, errs := MapEachCtx(ctx, 1, jobs, func(ctx context.Context, i, j int) (int, error) {
+		t.Fatal("fn ran under a dead context")
+		return 0, nil
+	}, func(done, total, i int, r int, err error) {
+		calls++
+		if done != calls || total != len(jobs) {
+			t.Errorf("each(done=%d, total=%d), want (%d, %d)", done, total, calls, len(jobs))
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("each job %d err = %v, want Canceled", i, err)
+		}
+	})
+	if calls != len(jobs) {
+		t.Fatalf("each fired %d times, want %d", calls, len(jobs))
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want Canceled", i, err)
+		}
+	}
+}
+
+// TestCacheDoCtxSingleflight: concurrent same-key callers execute fn
+// once and share the value, as with Do.
+func TestCacheDoCtxSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var execs atomic.Int32
+	const callers = 16
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			v, err := c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+				execs.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("DoCtx = (%d, %v), want (7, nil)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+// TestCacheDoCtxErrorNotMemoized: a failed computation is forgotten —
+// the next caller of the same key retries and can succeed.
+func TestCacheDoCtxErrorNotMemoized(t *testing.T) {
+	var c Cache[string, int]
+	var execs atomic.Int32
+	boom := errors.New("transient")
+	get := func() (int, error) {
+		return c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+			if execs.Add(1) == 1 {
+				return 0, boom
+			}
+			return 99, nil
+		})
+	}
+	if _, err := get(); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want transient", err)
+	}
+	v, err := get()
+	if err != nil || v != 99 {
+		t.Fatalf("retry = (%d, %v), want (99, nil)", v, err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("fn executed %d times, want 2 (error not memoized)", got)
+	}
+}
+
+// TestCacheDoCtxWaiterCancelDoesNotPoison: the satellite contract — a
+// caller whose context dies while waiting on another's computation
+// returns its own ctx.Err() promptly, and the entry stays good for
+// later callers (the computation completes and is memoized).
+func TestCacheDoCtxWaiterCancelDoesNotPoison(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 41, nil
+		})
+		ownerDone <- err
+	}()
+	<-started
+
+	// A waiter joins the in-flight computation, then its ctx dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.DoCtx(ctx, "k", func(context.Context) (int, error) {
+			t.Error("waiter recomputed an in-flight key")
+			return 0, nil
+		})
+		waiterDone <- err
+	}()
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want Canceled", err)
+	}
+
+	// The computation finishes for everyone else and is memoized.
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner err = %v", err)
+	}
+	v, err := c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+		t.Error("memoized key recomputed")
+		return 0, nil
+	})
+	if err != nil || v != 41 {
+		t.Fatalf("later caller = (%d, %v), want (41, nil)", v, err)
+	}
+}
+
+// TestCacheDoCtxOwnerCancelDoesNotPoison: a computing caller whose
+// context dies mid-Do (fn returns the cancellation) must not leave the
+// key poisoned — a later caller computes fresh and gets the real value.
+func TestCacheDoCtxOwnerCancelDoesNotPoison(t *testing.T) {
+	var c Cache[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.DoCtx(ctx, "k", func(ctx context.Context) (int, error) {
+		// Reached only if the pre-check raced the cancel; either way the
+		// computation observes its dead context.
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled owner err = %v, want Canceled", err)
+	}
+
+	var execs atomic.Int32
+	v, err := c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+		execs.Add(1)
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("later caller = (%d, %v), want (42, nil)", v, err)
+	}
+	if execs.Load() != 1 {
+		t.Fatal("later caller did not recompute the forgotten key")
+	}
+}
+
+// TestCacheDoCtxWaiterRetriesAfterOwnerFailure: a waiter does not
+// inherit the owner's error; it retries the computation itself.
+func TestCacheDoCtxWaiterRetriesAfterOwnerFailure(t *testing.T) {
+	var c Cache[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	boom := errors.New("owner failed")
+
+	go func() {
+		c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	var v int
+	var err error
+	go func() {
+		defer close(waiterDone)
+		v, err = c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+			return 5, nil
+		})
+	}()
+	close(release)
+	<-waiterDone
+	if err != nil || v != 5 {
+		t.Fatalf("waiter retry = (%d, %v), want (5, nil)", v, err)
+	}
+}
+
+// TestCacheForget: a forgotten key recomputes on the next DoCtx call.
+func TestCacheForget(t *testing.T) {
+	var c Cache[string, int]
+	var execs atomic.Int32
+	get := func() int {
+		v, err := c.DoCtx(context.Background(), "k", func(context.Context) (int, error) {
+			return int(execs.Add(1)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if get() != 1 || get() != 1 {
+		t.Fatal("memoization broken before Forget")
+	}
+	c.Forget("k")
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Forget, want 0", c.Len())
+	}
+	if get() != 2 {
+		t.Fatal("forgotten key not recomputed")
 	}
 }
 

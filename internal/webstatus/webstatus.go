@@ -1,10 +1,13 @@
-// Package webstatus serves a sweep's live progress over HTTP: a tiny
-// status endpoint the long-running CLIs (sweep, figure6, tables) expose
-// behind their -http flag. The handler only reads a caller-supplied
-// snapshot function, so the sweep itself never blocks on a slow client.
+// Package webstatus is the HTTP status/health surface shared by every
+// serving command: the read-only snapshot endpoint the long-running
+// CLIs (sweep, figure6, tables) expose behind their -http flag, and
+// the base cmd/prefetchd mounts its job routes on. The status handler
+// only reads a caller-supplied snapshot function, so the work being
+// observed never blocks on a slow client.
 package webstatus
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -66,6 +69,16 @@ type Server struct {
 // safe for concurrent use. Routes: "/" and "/status" return the JSON
 // snapshot, "/healthz" returns 200 ok.
 func Serve(addr string, fn func() Status) (*Server, error) {
+	return ServeMux(addr, fn, nil)
+}
+
+// ServeMux is Serve with extra routes: before the listener starts,
+// register is called with the server's mux so a command can mount its
+// own handlers (cmd/prefetchd adds its /jobs API) next to the shared
+// "/status" and "/healthz" surface. register may be nil. The snapshot
+// handler also serves "/" unless register claimed a pattern that
+// shadows it.
+func ServeMux(addr string, fn func() Status, register func(mux *http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("webstatus: listen %s: %w", addr, err)
@@ -86,6 +99,9 @@ func Serve(addr string, fn func() Status) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if register != nil {
+		register(mux)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -94,5 +110,22 @@ func Serve(addr string, fn func() Status) (*Server, error) {
 // Addr returns the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Shutdown gracefully stops the endpoint: the listener closes at once
+// (no new connections), in-flight requests run to completion, and only
+// when ctx ends are the stragglers cut off. This is the drain step of
+// a serving process's shutdown — an abrupt http.Server.Close would
+// sever responses mid-body.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// CloseTimeout bounds how long Close waits for in-flight requests.
+const CloseTimeout = 5 * time.Second
+
+// Close shuts the endpoint down, draining in-flight requests for up to
+// CloseTimeout. It is Shutdown with a default bound — the right call
+// for CLI defer paths; servers coordinating a wider drain should call
+// Shutdown with their own context.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

@@ -1,11 +1,13 @@
 package webstatus
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestServeStatus(t *testing.T) {
@@ -64,6 +66,115 @@ func TestServeStatus(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
 		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestServeMuxExtraRoutes: a command can mount its own handlers next
+// to the shared surface, and the built-in routes keep working.
+func TestServeMuxExtraRoutes(t *testing.T) {
+	srv, err := ServeMux("127.0.0.1:0", func() Status {
+		return Status{Tool: "extended"}
+	}, func(mux *http.ServeMux) {
+		mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "job list")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "job list" {
+		t.Fatalf("/jobs = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Tool != "extended" {
+		t.Fatalf("/status tool = %q", st.Tool)
+	}
+}
+
+// TestShutdownDrainsInFlight: the satellite contract — a /status
+// request already being served when Shutdown begins completes with a
+// full body instead of being severed, and Shutdown returns only after
+// it finished.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", func() Status {
+		close(inHandler)
+		<-release // hold the request open across the Shutdown call
+		return Status{Tool: "draining", Done: 7, Total: 9}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		st   Status
+		code int
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		var r reply
+		resp, err := http.Get("http://" + srv.Addr() + "/status")
+		if err != nil {
+			r.err = err
+			got <- r
+			return
+		}
+		defer resp.Body.Close()
+		r.code = resp.StatusCode
+		r.err = json.NewDecoder(resp.Body).Decode(&r.st)
+		got <- r
+	}()
+	<-inHandler // the request is now in flight
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight request, not kill it: give it
+	// a moment to do the wrong thing before releasing the handler.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight request severed during shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK || r.st.Tool != "draining" || r.st.Done != 7 {
+		t.Fatalf("in-flight response = %d %+v", r.code, r.st)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The listener is closed: new requests fail.
+	if _, err := http.Get("http://" + srv.Addr() + "/status"); err == nil {
+		t.Fatal("request succeeded after Shutdown")
 	}
 }
 

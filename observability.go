@@ -106,18 +106,36 @@ func DecodeManifest(r io.Reader) (*Manifest, error) { return obs.DecodeManifest(
 // DecodeSweepManifest parses one sweep manifest document.
 func DecodeSweepManifest(r io.Reader) (*SweepManifest, error) { return obs.DecodeSweepManifest(r) }
 
-// StatsDigest renders the canonical SHA-256 digest of every statistic
-// of a run — the same per-node line format the golden determinism
-// tests pin, so a manifest's digest is directly comparable across
-// commits and machines.
-func StatsDigest(st *Stats) string {
+// StatsLines renders the canonical per-node and machine-wide statistic
+// lines of a run — the exact lines StatsDigest hashes. They are the
+// byte-stable "rows" of a single simulation: what prefetchd streams
+// (and caches) for a single-run job.
+func StatsLines(st *Stats) []string {
 	lines := make([]string, 0, len(st.Nodes)+1)
 	for i := range st.Nodes {
 		lines = append(lines, fmt.Sprintf("node%d %+v", i, st.Nodes[i]))
 	}
 	lines = append(lines, fmt.Sprintf("machine msgs=%d flits=%d flithops=%d exec=%d",
 		st.NetMessages, st.NetFlits, st.NetFlitHops, st.ExecTime))
-	return obs.DigestStrings(lines)
+	return lines
+}
+
+// StatsDigest renders the canonical SHA-256 digest of every statistic
+// of a run — the same per-node line format the golden determinism
+// tests pin, so a manifest's digest is directly comparable across
+// commits and machines.
+func StatsDigest(st *Stats) string {
+	return obs.DigestStrings(StatsLines(st))
+}
+
+// ConfigDigest is the content address of a configuration: the digest
+// of its manifest RunConfig (every scalar knob including the seed).
+// Two configs with equal digests produce byte-identical statistics;
+// prefetchd's result cache is keyed by it.
+func ConfigDigest(cfg Config) string {
+	cfg = cfg.withDefaults()
+	app := cfg.App
+	return cfg.runConfig(app).Digest()
 }
 
 // runConfig renders c (already defaulted) as a manifest config record
@@ -149,12 +167,14 @@ func NewManifest(cfg Config, res *Result, wall time.Duration) *Manifest {
 	if app == "" {
 		app = res.App
 	}
+	rc := cfg.runConfig(app)
 	m := &Manifest{
 		Schema:        ManifestSchemaVersion,
 		GoVersion:     goVersion(),
 		GitSHA:        gitSHA(),
 		CreatedUnixNS: time.Now().UnixNano(),
-		Config:        cfg.runConfig(app),
+		Config:        rc,
+		ConfigDigest:  rc.Digest(),
 		WallNS:        wall.Nanoseconds(),
 		VirtualTime:   int64(res.Stats.ExecTime),
 		StatsDigest:   StatsDigest(res.Stats),

@@ -5,10 +5,29 @@ package prefetchsim
 // and a sweep with one bad configuration must still complete the rest.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 )
+
+// TestSweepCancellation: a sweep whose ExpOptions.Ctx is already dead
+// runs nothing and surfaces the cancellation, while a nil Ctx still
+// runs to completion — the job-server contract for cancelling queued
+// work.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := Table2(ExpOptions{
+		Ctx: ctx, Procs: 4, Workers: 1, Apps: []string{"lu", "matmul"},
+	})
+	if len(rows) != 0 {
+		t.Fatalf("cancelled sweep produced %d rows, want 0", len(rows))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep err = %v, want context.Canceled", err)
+	}
+}
 
 // TestBaselineKeyDistinct: configurations differing in any component of
 // the (app, slc, procs, scale, seed, ...) tuple must map to distinct

@@ -22,10 +22,18 @@
 #   BENCH_MERGED  merged record path (third positional arg;
 #                 default bench_delta.json)
 #   BENCH_QUICK   non-empty = micro benchmarks only, shorter benchtime —
-#                 the subset CI gates against BENCH_3.json (same as -q)
+#                 the subset CI's regression gate runs (same as -q)
+#   BENCH_GATE    a committed BENCH_<n>.json record to gate against:
+#                 after writing $BENCH_OUT, fail if any micro-benchmark
+#                 regressed by more than BENCH_GATE_PCT (default 25)
+#                 percent ns/op. The gate refuses to run against a
+#                 stale record: if the repo root holds a BENCH_<n>.json
+#                 newer (higher n) than $BENCH_GATE, it dies loudly so
+#                 CI can't silently keep comparing against history.
 #
-# BENCH_2.json and BENCH_3.json in the repo root pair this script's
-# output on each PR base with its output after that PR's rework.
+# The BENCH_<n>.json records in the repo root pair this script's output
+# on each PR base with its output after that PR's rework; the newest is
+# the gate baseline.
 set -euo pipefail
 
 die() { echo "bench.sh: $*" >&2; exit 1; }
@@ -43,7 +51,21 @@ fi
 out="${1:-${BENCH_OUT:-bench_results.json}}"
 before="${2:-${BENCH_BEFORE:-}}"
 merged="${3:-${BENCH_MERGED:-bench_delta.json}}"
+gate="${BENCH_GATE:-}"
+gate_pct="${BENCH_GATE_PCT:-25}"
 [[ -z "$before" || -f "$before" ]] || die "baseline file '$before' does not exist"
+
+# newest_record prints the highest-numbered committed BENCH_<n>.json.
+newest_record() {
+  ls BENCH_[0-9]*.json 2>/dev/null | sort -t_ -k2 -n | tail -1
+}
+
+if [[ -n "$gate" ]]; then
+  [[ -f "$gate" ]] || die "gate record '$gate' does not exist"
+  newest="$(newest_record)"
+  [[ "$gate" == "$newest" ]] ||
+    die "gate record '$gate' is stale: '$newest' is newer — update the gate (ci.yml) to the latest record"
+fi
 
 run() { # pattern package benchtime
   go test -run '^$' -bench "$1" -benchtime "$3" -benchmem "$2" 2>&1 |
@@ -92,4 +114,9 @@ echo "wrote $out"
 
 if [[ -n "$before" ]]; then
   go run ./cmd/benchdelta -o "$merged" "$before" "$out"
+fi
+
+if [[ -n "$gate" ]]; then
+  echo "gating $out against $gate (>$gate_pct% ns/op regression fails)"
+  go run ./cmd/benchdelta -gate "$gate_pct" "$gate" "$out"
 fi

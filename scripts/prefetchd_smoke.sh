@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+#
+# End-to-end smoke test of the simulation service: build prefetchd and
+# prefetchctl, boot the server on an ephemeral port, submit the same
+# small Figure-6 job twice, and assert the contract the result cache
+# promises:
+#
+#   - the first submission computes (done line says cache "miss"),
+#   - the second is served from the cache (done line says "hit"),
+#   - the row lines of both NDJSON transcripts are byte-identical,
+#   - the hit is at least 10x faster than the miss (server-side
+#     wall_ns, so client startup noise doesn't count),
+#   - SIGTERM drains gracefully and persists the cache index.
+#
+# Both transcripts land in the artifact directory for offline
+# inspection (CI uploads them).
+#
+# Usage: scripts/prefetchd_smoke.sh [artifact-dir]
+set -euo pipefail
+
+die() { echo "prefetchd_smoke.sh: FAIL: $*" >&2; exit 1; }
+
+cd "$(dirname "$0")/.."
+art="${1:-prefetchd-smoke-artifacts}"
+mkdir -p "$art"
+
+work="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$work" ./cmd/prefetchd ./cmd/prefetchctl
+
+echo "== boot"
+"$work/prefetchd" -http 127.0.0.1:0 -cache-dir "$work/cache" \
+  >"$art/prefetchd.log" 2>&1 &
+server_pid=$!
+
+# The server prints its bound address once the listener is up.
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#^prefetchd: serving on http://##p' "$art/prefetchd.log")"
+  [[ -n "$addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || die "prefetchd exited early: $(cat "$art/prefetchd.log")"
+  sleep 0.1
+done
+[[ -n "$addr" ]] || die "prefetchd never reported its address"
+ctl() { "$work/prefetchctl" -addr "$addr" "$@"; }
+
+for _ in $(seq 1 50); do
+  ctl status >/dev/null 2>&1 && break
+  sleep 0.1
+done
+ctl status >/dev/null || die "server not answering /status"
+echo "   serving on $addr"
+
+job=(submit -figure6 -apps lu -schemes Seq -procs 4 -stream)
+done_field() { # file field
+  grep '"type":"done"' "$1" | sed -n "s/.*\"$2\":\"\{0,1\}\([a-z0-9]*\)\"\{0,1\}.*/\1/p"
+}
+
+echo "== first submission (expect miss)"
+ctl "${job[@]}" >"$art/run1.ndjson" || die "first submission failed"
+cache1="$(done_field "$art/run1.ndjson" cache)"
+wall1="$(done_field "$art/run1.ndjson" wall_ns)"
+[[ "$cache1" == "miss" ]] || die "first submission: cache '$cache1', want miss"
+
+echo "== second submission (expect hit)"
+ctl "${job[@]}" >"$art/run2.ndjson" || die "second submission failed"
+cache2="$(done_field "$art/run2.ndjson" cache)"
+wall2="$(done_field "$art/run2.ndjson" wall_ns)"
+[[ "$cache2" == "hit" ]] || die "second submission: cache '$cache2', want hit"
+
+echo "== byte-identity of the row payload"
+grep '"type":"row"' "$art/run1.ndjson" >"$work/rows1"
+grep '"type":"row"' "$art/run2.ndjson" >"$work/rows2"
+[[ -s "$work/rows1" ]] || die "first transcript has no row lines"
+cmp "$work/rows1" "$work/rows2" || die "cached rows differ from the computed rows"
+
+echo "== hit must be >=10x faster (miss ${wall1}ns vs hit ${wall2}ns)"
+[[ -n "$wall1" && -n "$wall2" && "$wall2" -gt 0 ]] || die "missing wall_ns in done lines"
+[[ "$wall1" -ge $((10 * wall2)) ]] || die "cache hit only $((wall1 / wall2))x faster"
+
+echo "== graceful shutdown persists the cache index"
+kill -TERM "$server_pid"
+wait "$server_pid" || die "prefetchd exited non-zero on SIGTERM"
+server_pid=""
+grep -q '^prefetchd: stopped$' "$art/prefetchd.log" || die "no clean-stop line in the log"
+[[ -f "$work/cache/index.json" ]] || die "cache index.json not persisted"
+grep -q '"key": "fig6-' "$work/cache/index.json" || die "persisted index lists no fig6 entry"
+
+echo "PASS: miss ${wall1}ns, hit ${wall2}ns ($((wall1 / wall2))x), rows byte-identical"
