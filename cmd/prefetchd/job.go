@@ -147,19 +147,50 @@ func (s jobSpec) totalSims() int {
 	return len(s.Apps) * len(s.Schemes)
 }
 
+// jobSpans is one job's lifecycle span record: the wall-clock stamp of
+// every state the job passed through, mirroring the simulator's
+// per-hop transaction spans (issue/req/home/...) at the service layer.
+// Zero stamps mean the job never reached that state (a cache hit is
+// born terminal and never queues; a job cancelled in the queue never
+// runs). WaitUS and RunUS carry the exact microsecond values the
+// server observed into the runner latency histograms, so per-class
+// sums over job spans reconcile with those histograms by construction.
+type jobSpans struct {
+	// SubmitUnixNS is when the server accepted the spec.
+	SubmitUnixNS int64 `json:"submit_unix_ns"`
+	// QueuedUnixNS is when the job entered the admission queue.
+	QueuedUnixNS int64 `json:"queued_unix_ns,omitempty"`
+	// AdmittedUnixNS is when the job won an execution slot.
+	AdmittedUnixNS int64 `json:"admitted_unix_ns,omitempty"`
+	// RunningUnixNS is when computation (or coalescing) began.
+	RunningUnixNS int64 `json:"running_unix_ns,omitempty"`
+	// StreamingUnixNS is when the first payload line landed.
+	StreamingUnixNS int64 `json:"streaming_unix_ns,omitempty"`
+	// DoneUnixNS is when the job settled to a terminal state.
+	DoneUnixNS int64 `json:"done_unix_ns,omitempty"`
+	// WaitUS is the queued→admitted latency in microseconds — the
+	// value observed into the runner wait histogram (0 for jobs that
+	// never queued).
+	WaitUS int64 `json:"wait_us"`
+	// RunUS is the admitted→settled latency in microseconds — the
+	// value observed into the runner run histogram.
+	RunUS int64 `json:"run_us"`
+}
+
 // jobRecord is the JSON view of a job's state.
 type jobRecord struct {
-	ID            string `json:"id"`
-	Kind          string `json:"kind"`
-	Digest        string `json:"digest"`
-	Status        string `json:"status"`
-	Cache         string `json:"cache,omitempty"` // hit, miss, coalesced
-	Done          int    `json:"done"`
-	Total         int    `json:"total"`
-	Rows          int    `json:"rows"`
-	Error         string `json:"error,omitempty"`
-	CreatedUnixNS int64  `json:"created_unix_ns"`
-	WallNS        int64  `json:"wall_ns,omitempty"`
+	ID            string   `json:"id"`
+	Kind          string   `json:"kind"`
+	Digest        string   `json:"digest"`
+	Status        string   `json:"status"`
+	Cache         string   `json:"cache,omitempty"` // hit, miss, coalesced
+	Done          int      `json:"done"`
+	Total         int      `json:"total"`
+	Rows          int      `json:"rows"`
+	Error         string   `json:"error,omitempty"`
+	CreatedUnixNS int64    `json:"created_unix_ns"`
+	WallNS        int64    `json:"wall_ns,omitempty"`
+	Spans         jobSpans `json:"spans"`
 }
 
 func terminal(status string) bool {
@@ -255,10 +286,17 @@ type job struct {
 	created time.Time
 	cancel  func() // nil for jobs born terminal (cache hits)
 
+	// onState, when set (before the job is shared), observes every
+	// status transition as (old, new); the server mirrors it into its
+	// jobs-by-state gauges. Called under j.mu: it must only touch
+	// atomics.
+	onState func(old, new string)
+
 	mu     sync.Mutex
 	notify chan struct{}
 	status string
 	cache  string
+	spans  jobSpans
 	lines  [][]byte // payload lines emitted so far
 	done   int
 	total  int
@@ -267,11 +305,25 @@ type job struct {
 }
 
 func newJob(id string, spec jobSpec, digest string) *job {
-	return &job{
+	j := &job{
 		id: id, spec: spec, digest: digest, created: time.Now(),
 		notify: make(chan struct{}), status: statusQueued,
 		total: spec.totalSims(),
 	}
+	j.spans.SubmitUnixNS = j.created.UnixNano()
+	return j
+}
+
+// setStatusLocked transitions the job's state, notifying the state
+// observer. Callers hold j.mu.
+func (j *job) setStatusLocked(st string) {
+	if st == j.status {
+		return
+	}
+	if j.onState != nil {
+		j.onState(j.status, st)
+	}
+	j.status = st
 }
 
 // signalLocked wakes every watcher. Callers hold j.mu.
@@ -287,9 +339,28 @@ func (j *job) setCache(c string) {
 	j.mu.Unlock()
 }
 
+// enqueued stamps the job's entry into the admission queue.
+func (j *job) enqueued() {
+	j.mu.Lock()
+	j.spans.QueuedUnixNS = time.Now().UnixNano()
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+// admitted stamps the job winning an execution slot, carrying the
+// microsecond wait the server observed into the runner wait histogram.
+func (j *job) admitted(waitUS int64) {
+	j.mu.Lock()
+	j.spans.AdmittedUnixNS = time.Now().UnixNano()
+	j.spans.WaitUS = waitUS
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
 func (j *job) start() {
 	j.mu.Lock()
-	j.status = statusRunning
+	j.setStatusLocked(statusRunning)
+	j.spans.RunningUnixNS = time.Now().UnixNano()
 	j.signalLocked()
 	j.mu.Unlock()
 }
@@ -306,14 +377,22 @@ func (j *job) appendPayload(lines ...[]byte) {
 		return
 	}
 	j.mu.Lock()
+	if j.spans.StreamingUnixNS == 0 {
+		j.spans.StreamingUnixNS = time.Now().UnixNano()
+	}
 	j.lines = append(j.lines, lines...)
 	j.signalLocked()
 	j.mu.Unlock()
 }
 
-func (j *job) finish(status string, wall time.Duration, err error) {
+// finish settles the job to a terminal state. runUS is the
+// admitted→settled microsecond value the server observed into the
+// runner run histogram (0 for jobs that were never admitted).
+func (j *job) finish(status string, wall time.Duration, err error, runUS int64) {
 	j.mu.Lock()
-	j.status = status
+	j.setStatusLocked(status)
+	j.spans.DoneUnixNS = time.Now().UnixNano()
+	j.spans.RunUS = runUS
 	j.wallNS = wall.Nanoseconds()
 	if err != nil {
 		j.errMsg = err.Error()
@@ -327,11 +406,16 @@ func (j *job) finish(status string, wall time.Duration, err error) {
 
 // completeCached makes the job terminal with the cached payload: born
 // done, served from the store, wall = the time the cache read took.
+// Its span never queues or runs — submit, streaming and done are the
+// only stamps.
 func (j *job) completeCached(payload []byte, wall time.Duration) {
 	j.mu.Lock()
 	j.cache = "hit"
-	j.status = statusDone
+	j.setStatusLocked(statusDone)
 	j.lines = splitLines(payload)
+	now := time.Now().UnixNano()
+	j.spans.StreamingUnixNS = now
+	j.spans.DoneUnixNS = now
 	j.done = j.total
 	j.wallNS = wall.Nanoseconds()
 	j.signalLocked()
@@ -343,6 +427,7 @@ func (j *job) recordLocked() jobRecord {
 		ID: j.id, Kind: j.spec.Kind, Digest: j.digest, Status: j.status,
 		Cache: j.cache, Done: j.done, Total: j.total, Rows: len(j.lines),
 		Error: j.errMsg, CreatedUnixNS: j.created.UnixNano(), WallNS: j.wallNS,
+		Spans: j.spans,
 	}
 }
 

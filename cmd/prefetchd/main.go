@@ -7,33 +7,44 @@
 //
 //	prefetchd -http 127.0.0.1:8080 -cache-dir /var/cache/prefetchd
 //
-// API (plus webstatus's /status and /healthz):
+// API (plus webstatus's /status, /healthz, /readyz and /metrics):
 //
 //	POST   /jobs            submit a spec; ?stream=1 streams NDJSON
 //	GET    /jobs            list jobs
-//	GET    /jobs/{id}       one job's record
+//	GET    /jobs/{id}       one job's record (with lifecycle spans)
 //	GET    /jobs/{id}/stream  replay + follow the job's NDJSON
 //	GET    /jobs/{id}/events  progress as server-sent events
 //	DELETE /jobs/{id}       cancel
 //
-// SIGINT/SIGTERM drains: new submissions get 503, in-flight jobs get
-// -drain-timeout to finish (then are cancelled), the cache index is
-// persisted, and only then does the listener close.
+// Operational logs are structured (JSON on stderr, level via
+// -log-level); the protocol lines the smoke script parses stay on
+// stdout. -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// SIGINT/SIGTERM drains: /readyz flips to 503, new submissions get
+// 503, in-flight jobs get -drain-timeout to finish (then are
+// cancelled), the cache index is persisted, and only then does the
+// listener close.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"prefetchsim/internal/obs"
 	"prefetchsim/internal/resultcache"
 	"prefetchsim/internal/webstatus"
 )
+
+// version identifies the build; override with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/prefetchd
+var version = "dev"
 
 func main() {
 	var (
@@ -43,40 +54,68 @@ func main() {
 		maxJobs  = flag.Int("max-jobs", 2, "jobs computing concurrently (queued beyond that)")
 		workers  = flag.Int("j", 0, "simulation workers per job (0 = GOMAXPROCS)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "shutdown: grace for in-flight jobs before cancelling them")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel = flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+		showVer  = flag.Bool("version", false, "print version and git SHA, then exit")
 	)
 	flag.Parse()
-	log.SetFlags(0)
+
+	sha := obs.RepoSHA()
+	if *showVer {
+		fmt.Printf("prefetchd %s %s\n", version, sha)
+		return
+	}
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "prefetchd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	store, err := resultcache.Open(*cacheDir, *cacheMax)
 	if err != nil {
-		log.Fatalf("prefetchd: open cache: %v", err)
+		logger.Error("open cache", "dir", *cacheDir, "err", err)
+		os.Exit(1)
 	}
 	s := newServer(store, *workers, *maxJobs)
+	s.log = logger
+	s.version = version
+	s.sha = sha
 
-	srv, err := webstatus.ServeMux(*httpAddr, s.status, s.register)
+	srv, err := webstatus.ServeOpts(*httpAddr, s.status, webstatus.Options{
+		Register: s.register,
+		Metrics:  s.reg,
+		Ready:    s.ready,
+		Pprof:    *pprofOn,
+	})
 	if err != nil {
-		log.Fatalf("prefetchd: listen: %v", err)
+		logger.Error("listen", "addr", *httpAddr, "err", err)
+		os.Exit(1)
 	}
 	// The smoke script and tests parse this line for the bound address
 	// (meaningful with -http :0).
 	fmt.Printf("prefetchd: serving on http://%s\n", srv.Addr())
+	logger.Info("serving", "addr", srv.Addr(), "version", version,
+		"git_sha", sha, "pprof", *pprofOn, "max_jobs", *maxJobs)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("prefetchd: draining")
+	logger.Info("draining", "timeout", drainT.String())
 
-	// Drain order: stop admissions and settle jobs, close the listener
-	// gracefully (in-flight status requests finish), then persist the
-	// cache index.
+	// Drain order: stop admitting jobs and settle the in-flight ones,
+	// close the listener gracefully (in-flight status requests finish),
+	// then persist the cache index.
 	s.drain(*drainT)
 	ctx, cancel := context.WithTimeout(context.Background(), webstatus.CloseTimeout)
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("prefetchd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	cancel()
 	if err := store.Close(); err != nil {
-		log.Printf("prefetchd: close cache: %v", err)
+		logger.Warn("close cache", "err", err)
 	}
 	fmt.Println("prefetchd: stopped")
 }

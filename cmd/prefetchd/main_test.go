@@ -78,7 +78,9 @@ func startTestServer(t *testing.T, maxJobs int) (*server, string) {
 		t.Fatalf("open cache: %v", err)
 	}
 	s := newServer(store, 2, maxJobs)
-	srv, err := webstatus.ServeMux("127.0.0.1:0", s.status, s.register)
+	srv, err := webstatus.ServeOpts("127.0.0.1:0", s.status, webstatus.Options{
+		Register: s.register, Metrics: s.reg, Ready: s.ready,
+	})
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
@@ -174,7 +176,7 @@ func TestCacheHitByteIdentical(t *testing.T) {
 		t.Fatalf("cache hit payload differs from the original:\n%s\n----\n%s",
 			joinLines(payload1), joinLines(payload2))
 	}
-	if hits, misses := s.hits.Load(), s.misses.Load(); hits != 1 || misses != 1 {
+	if hits, misses := s.hits.Value(), s.misses.Value(); hits != 1 || misses != 1 {
 		t.Fatalf("cache counters: hits=%d misses=%d, want 1/1", hits, misses)
 	}
 
@@ -323,6 +325,17 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d after drain, want 503", resp.StatusCode)
+	}
+
+	// Draining also flips readiness: /readyz reports 503 so a load
+	// balancer stops routing before the listener closes.
+	ready, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", ready.StatusCode)
 	}
 }
 

@@ -5,10 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"prefetchsim"
@@ -27,6 +27,34 @@ type server struct {
 	workers int           // simulation workers per job
 	sem     chan struct{} // admission: at most cap(sem) jobs computing
 	start   time.Time
+	log     *slog.Logger
+
+	version, sha string // build info surfaced on /status
+
+	// reg binds every serving-path instrument; webstatus serves its
+	// Prometheus exposition at /metrics.
+	reg *obs.Registry
+	// rm instruments the admission pipeline: queue depth, in-flight,
+	// and the wait/run latency histograms job spans reconcile against.
+	rm *runner.Metrics
+	// cm mirrors the result cache's state (hit/miss/eviction counters,
+	// object and byte gauges).
+	cm resultcache.Metrics
+
+	// jobState holds one gauge per lifecycle state; job.onState moves
+	// each job between them on every status transition.
+	jobState map[string]*obs.AtomicGauge
+	// rejected counts submissions refused while draining; badSpec
+	// counts specs that failed to decode or normalize.
+	rejected, badSpec *obs.AtomicCounter
+	// streamRows and streamBytes count NDJSON lines (and bytes) written
+	// to streaming clients; sseSubs gauges live /events watchers.
+	streamRows, streamBytes *obs.AtomicCounter
+	sseSubs                 *obs.AtomicGauge
+
+	// Submission-level cache dispositions (distinct from the store's
+	// own counters: a coalesced job never touches the store).
+	hits, misses, coalesced *obs.AtomicCounter
 
 	// flight dedups concurrent identical submissions: the first owns
 	// the computation, the rest share its payload. Keys are forgotten
@@ -41,24 +69,66 @@ type server struct {
 
 	wg sync.WaitGroup // in-flight job goroutines
 
-	hits, misses, coalesced atomic.Int64
+	// aggMu guards agg, the per-class (cache disposition) span
+	// aggregate folded in as jobs settle.
+	aggMu sync.Mutex
+	agg   map[string]*classAgg
+}
+
+// classAgg accumulates settled jobs' span values for one cache class.
+// waitUS and runUS sum the exact values the runner histograms observed,
+// so per-class sums reconcile with those histograms by construction.
+type classAgg struct {
+	count, waitUS, runUS, totalUS int64
 }
 
 func newServer(store *resultcache.Store, workers, maxJobs int) *server {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
-	return &server{
+	reg := obs.NewRegistry()
+	s := &server{
 		store:   store,
 		workers: workers,
 		sem:     make(chan struct{}, maxJobs),
 		start:   time.Now(),
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		reg:     reg,
+		rm:      new(runner.Metrics),
 		jobs:    make(map[string]*job),
+		agg:     make(map[string]*classAgg),
 	}
+	s.rm.Bind(reg, "runner")
+	s.cm.Bind(reg, "resultcache")
+	store.Instrument(&s.cm)
+	s.jobState = make(map[string]*obs.AtomicGauge)
+	for _, st := range []string{statusQueued, statusRunning, statusDone, statusFailed, statusCancelled} {
+		s.jobState[st] = reg.AtomicGauge("jobs." + st)
+	}
+	s.rejected = reg.AtomicCounter("jobs.rejected")
+	s.badSpec = reg.AtomicCounter("jobs.spec.invalid")
+	s.streamRows = reg.AtomicCounter("stream.rows")
+	s.streamBytes = reg.AtomicCounter("stream.bytes")
+	s.sseSubs = reg.AtomicGauge("sse.subscribers")
+	s.hits = reg.AtomicCounter("jobs.cache.hits")
+	s.misses = reg.AtomicCounter("jobs.cache.misses")
+	s.coalesced = reg.AtomicCounter("jobs.cache.coalesced")
+	return s
 }
 
 // errDraining rejects submissions during shutdown.
 var errDraining = errors.New("server is draining")
+
+// onJobState mirrors a job's status transition into the per-state
+// gauges. Called under j.mu — it only touches atomics.
+func (s *server) onJobState(old, new string) {
+	if g := s.jobState[old]; g != nil {
+		g.Add(-1)
+	}
+	if g := s.jobState[new]; g != nil {
+		g.Add(1)
+	}
+}
 
 // submit registers a normalized spec as a job. Cache hits are born
 // terminal with the stored payload; misses start computing on their
@@ -73,32 +143,40 @@ func (s *server) submit(spec jobSpec) (*job, error) {
 	s.seq++
 	id := fmt.Sprintf("j%d", s.seq)
 	j := newJob(id, spec, digest)
+	j.onState = s.onJobState
+	s.jobState[statusQueued].Add(1)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 
 	readStart := time.Now()
 	payload, hit := s.store.Get(digest)
 	if hit {
-		s.hits.Add(1)
+		s.hits.Inc()
 		j.completeCached(payload, time.Since(readStart))
 		s.mu.Unlock()
+		s.log.Info("job submitted", "job", j.id, "kind", spec.Kind, "digest", digest)
+		s.recordSettled(j)
 		return j, nil
 	}
-	s.misses.Add(1)
+	s.misses.Inc()
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.log.Info("job submitted", "job", j.id, "kind", spec.Kind, "digest", digest)
 	j.setCache("miss")
-	go s.runJob(ctx, j)
+	s.rm.Enqueue()
+	j.enqueued()
+	go s.runJob(ctx, j, time.Now())
 	return j, nil
 }
 
 // runJob takes the job through admission, computes (or coalesces onto
 // an identical in-flight computation), persists the payload and
-// settles the job's terminal state.
-func (s *server) runJob(ctx context.Context, j *job) {
+// settles the job's terminal state. enq anchors the queue-wait
+// measurement.
+func (s *server) runJob(ctx context.Context, j *job, enq time.Time) {
 	defer s.wg.Done()
 	defer j.cancel()
 
@@ -106,11 +184,16 @@ func (s *server) runJob(ctx context.Context, j *job) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
-		j.finish(statusCancelled, 0, ctx.Err())
+		// Cancelled while queued: the job leaves the queue without
+		// admission, so the wait histogram never sees it.
+		s.rm.Abandon()
+		s.settle(j, statusCancelled, 0, ctx.Err(), 0)
 		return
 	}
+	waitUS := s.rm.Admit(time.Since(enq))
+	j.admitted(waitUS)
 	if err := ctx.Err(); err != nil {
-		j.finish(statusCancelled, 0, err)
+		s.settle(j, statusCancelled, 0, err, s.rm.Finish(0, false))
 		return
 	}
 
@@ -126,22 +209,87 @@ func (s *server) runJob(ctx context.Context, j *job) {
 	case err == nil:
 		if owned {
 			if perr := s.store.Put(j.digest, payload); perr != nil {
-				log.Printf("prefetchd: cache put %s: %v", j.digest, perr)
+				s.log.Warn("cache put failed", "digest", j.digest, "err", perr)
 			}
 			s.flight.Forget(j.digest)
 		} else {
 			// Coalesced onto another job's computation: the payload
 			// arrives whole, not streamed row by row.
-			s.coalesced.Add(1)
+			s.coalesced.Inc()
 			j.setCache("coalesced")
 			j.appendPayload(splitLines(payload)...)
 		}
-		j.finish(statusDone, wall, nil)
+		s.settle(j, statusDone, wall, nil, s.rm.Finish(wall, true))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.finish(statusCancelled, wall, err)
+		s.settle(j, statusCancelled, wall, err, s.rm.Finish(wall, false))
 	default:
-		j.finish(statusFailed, wall, err)
+		s.settle(j, statusFailed, wall, err, s.rm.Finish(wall, false))
 	}
+}
+
+// settle drives the job terminal and folds its span into the per-class
+// aggregate. runUS is the value Finish observed into the run histogram
+// (0 when the job was never admitted) — passing the identical value
+// into the span record is what makes the aggregate reconcile with the
+// histograms exactly.
+func (s *server) settle(j *job, status string, wall time.Duration, err error, runUS int64) {
+	j.finish(status, wall, err, runUS)
+	s.recordSettled(j)
+}
+
+// recordSettled folds a terminal job's span into the per-class
+// aggregate (keyed by cache disposition) and emits the settle log line.
+func (s *server) recordSettled(j *job) {
+	rec := j.record()
+	class := rec.Cache
+	if class == "" {
+		class = "miss"
+	}
+	totalUS := (rec.Spans.DoneUnixNS - rec.Spans.SubmitUnixNS) / 1000
+	s.aggMu.Lock()
+	a := s.agg[class]
+	if a == nil {
+		a = new(classAgg)
+		s.agg[class] = a
+	}
+	a.count++
+	a.waitUS += rec.Spans.WaitUS
+	a.runUS += rec.Spans.RunUS
+	a.totalUS += totalUS
+	s.aggMu.Unlock()
+	s.log.Info("job settled",
+		"job", rec.ID, "kind", rec.Kind, "digest", rec.Digest,
+		"status", rec.Status, "cache", class, "rows", rec.Rows,
+		"wait_us", rec.Spans.WaitUS, "run_us", rec.Spans.RunUS,
+		"wall_ns", rec.WallNS, "err", rec.Error)
+}
+
+// spanAggs snapshots the per-class span aggregate for /status.
+func (s *server) spanAggs() map[string]webstatus.JobSpanAgg {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	if len(s.agg) == 0 {
+		return nil
+	}
+	m := make(map[string]webstatus.JobSpanAgg, len(s.agg))
+	for class, a := range s.agg {
+		m[class] = webstatus.JobSpanAgg{
+			Count: a.count, WaitUS: a.waitUS, RunUS: a.runUS, TotalUS: a.totalUS,
+		}
+	}
+	return m
+}
+
+// ready backs /readyz: the server is ready once its cache index is
+// loaded (a *server only exists with an open store) and it is not
+// draining.
+func (s *server) ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, "draining"
+	}
+	return true, ""
 }
 
 // compute runs the simulation(s) and returns the deterministic payload
@@ -314,7 +462,7 @@ func (s *server) drain(timeout time.Duration) {
 		return
 	case <-time.After(timeout):
 	}
-	log.Printf("prefetchd: drain timeout after %v, cancelling in-flight jobs", timeout)
+	s.log.Warn("drain timeout, cancelling in-flight jobs", "timeout", timeout.String())
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		if j.cancel != nil {
@@ -325,8 +473,8 @@ func (s *server) drain(timeout time.Duration) {
 	<-done
 }
 
-// status is the webstatus snapshot: job counts by state plus cache
-// counters.
+// status is the webstatus snapshot: job counts by state, cache
+// counters, build info and the per-class job-span aggregate.
 func (s *server) status() webstatus.Status {
 	s.mu.Lock()
 	counts := map[string]int64{}
@@ -345,19 +493,22 @@ func (s *server) status() webstatus.Status {
 	counts["cache.objects"] = int64(s.store.Len())
 	counts["cache.bytes"] = s.store.Bytes()
 	counts["cache.evictions"] = s.store.Evictions()
-	counts["cache.hits"] = s.hits.Load()
-	counts["cache.misses"] = s.misses.Load()
-	counts["cache.coalesced"] = s.coalesced.Load()
+	counts["cache.hits"] = s.hits.Value()
+	counts["cache.misses"] = s.misses.Value()
+	counts["cache.coalesced"] = s.coalesced.Value()
 	return webstatus.Status{
 		Tool: "prefetchd", Done: finished, Total: total, Rows: rows,
 		Metrics:     counts,
+		Version:     s.version,
+		GitSHA:      s.sha,
+		JobSpans:    s.spanAggs(),
 		StartUnixNS: s.start.UnixNano(),
 		UptimeNS:    time.Since(s.start).Nanoseconds(),
 	}
 }
 
 // register mounts the job API on the webstatus mux (which already
-// serves /status and /healthz).
+// serves /status, /healthz and the telemetry surfaces).
 func (s *server) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
@@ -383,16 +534,20 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var spec jobSpec
 	if err := dec.Decode(&spec); err != nil {
+		s.badSpec.Inc()
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
 	spec, err := spec.normalize()
 	if err != nil {
+		s.badSpec.Inc()
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	j, err := s.submit(spec)
 	if err != nil {
+		s.rejected.Inc()
+		s.log.Info("submission rejected", "err", err)
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -460,6 +615,8 @@ func (s *server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 	writeLine := func(line []byte) {
 		w.Write(line)
 		w.Write([]byte{'\n'})
+		s.streamRows.Inc()
+		s.streamBytes.Add(int64(len(line)) + 1)
 	}
 
 	writeLine(mustJSON(jobLine{Type: "job", jobRecord: j.record()}))
@@ -489,12 +646,16 @@ func (s *server) streamJob(w http.ResponseWriter, r *http.Request, j *job) {
 
 // handleEvents serves job progress as server-sent events: one
 // "progress" event per state change, a final "done" event, then EOF.
+// The subscriber gauge tracks live watchers; it returns to its prior
+// level however the watcher leaves (done event or disconnect).
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job"))
 		return
 	}
+	s.sseSubs.Add(1)
+	defer s.sseSubs.Add(-1)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	fl, _ := w.(http.Flusher)

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // ManifestSchema is the current manifest document version. Readers
@@ -187,6 +188,21 @@ func ReadManifestFile(path string) (*Manifest, error) {
 	}
 	defer f.Close()
 	return DecodeManifest(f)
+}
+
+// repoSHA memoizes GitSHA(".") — the revision is immutable for the
+// life of the process, and both per-run manifests and serving-path
+// build info want it without repeating the .git walk.
+var repoSHA struct {
+	sync.Once
+	v string
+}
+
+// RepoSHA returns the process-wide memoized GitSHA of the current
+// working directory's repository ("" outside a checkout).
+func RepoSHA() string {
+	repoSHA.Do(func() { repoSHA.v = GitSHA(".") })
+	return repoSHA.v
 }
 
 // GitSHA best-effort resolves the current commit of the repository

@@ -88,14 +88,20 @@ type Histogram struct {
 func (h *Histogram) Observe(v int64) {
 	h.count++
 	h.sum += v
-	i := 0
-	if v > 0 {
-		i = bits.Len64(uint64(v))
-		if i >= HistBuckets {
-			i = HistBuckets - 1
-		}
+	h.buckets[histBucket(v)]++
+}
+
+// histBucket maps a value to its bucket index (shared with
+// AtomicHistogram so both layouts agree bit for bit).
+func histBucket(v int64) int {
+	if v <= 0 {
+		return 0
 	}
-	h.buckets[i]++
+	i := bits.Len64(uint64(v))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
 }
 
 // Count returns the number of observations.
@@ -173,12 +179,16 @@ func totalName(name string) string {
 	return p + name[i:]
 }
 
-// entry is one bound instrument. Exactly one of c, g, h is set.
+// entry is one bound instrument. Exactly one of the instrument
+// pointers is set.
 type entry struct {
 	name string
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	ac   *AtomicCounter
+	ag   *AtomicGauge
+	ah   *AtomicHistogram
 }
 
 // Registry binds embedded instruments into one hierarchical dotted
@@ -235,6 +245,57 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// BindAtomicCounter registers an externally owned atomic counter.
+func (r *Registry) BindAtomicCounter(name string, c *AtomicCounter) {
+	r.bind(entry{name: name, ac: c})
+}
+
+// BindAtomicGauge registers an externally owned atomic gauge.
+func (r *Registry) BindAtomicGauge(name string, g *AtomicGauge) {
+	r.bind(entry{name: name, ag: g})
+}
+
+// BindAtomicHistogram registers an externally owned atomic histogram.
+func (r *Registry) BindAtomicHistogram(name string, h *AtomicHistogram) {
+	r.bind(entry{name: name, ah: h})
+}
+
+// AtomicCounter creates, registers and returns a registry-owned atomic
+// counter.
+func (r *Registry) AtomicCounter(name string) *AtomicCounter {
+	c := new(AtomicCounter)
+	r.BindAtomicCounter(name, c)
+	return c
+}
+
+// AtomicGauge creates, registers and returns a registry-owned atomic
+// gauge.
+func (r *Registry) AtomicGauge(name string) *AtomicGauge {
+	g := new(AtomicGauge)
+	r.BindAtomicGauge(name, g)
+	return g
+}
+
+// AtomicHistogram creates, registers and returns a registry-owned
+// atomic histogram.
+func (r *Registry) AtomicHistogram(name string) *AtomicHistogram {
+	h := new(AtomicHistogram)
+	r.BindAtomicHistogram(name, h)
+	return h
+}
+
+// histSamples renders a histogram's snapshot samples: count, sum, and
+// one ".lt<bound>" sample per non-empty bucket.
+func (e *entry) histSamples(count, sum int64, bucket func(int) int64) []Sample {
+	s := []Sample{{e.name + ".count", count}, {e.name + ".sum", sum}}
+	for i := 0; i < HistBuckets; i++ {
+		if n := bucket(i); n != 0 {
+			s = append(s, Sample{fmt.Sprintf("%s.lt%d", e.name, BucketBound(i)), n})
+		}
+	}
+	return s
+}
+
 // Len reports the number of bound instruments.
 func (r *Registry) Len() int {
 	r.mu.Lock()
@@ -254,15 +315,16 @@ func (r *Registry) Snapshot() Snapshot {
 		switch {
 		case e.c != nil:
 			s = append(s, Sample{e.name, e.c.Value()})
+		case e.ac != nil:
+			s = append(s, Sample{e.name, e.ac.Value()})
 		case e.g != nil:
 			s = append(s, Sample{e.name, e.g.Value()}, Sample{e.name + ".max", e.g.Max()})
+		case e.ag != nil:
+			s = append(s, Sample{e.name, e.ag.Value()}, Sample{e.name + ".max", e.ag.Max()})
 		case e.h != nil:
-			s = append(s, Sample{e.name + ".count", e.h.Count()}, Sample{e.name + ".sum", e.h.Sum()})
-			for i := 0; i < HistBuckets; i++ {
-				if n := e.h.Bucket(i); n != 0 {
-					s = append(s, Sample{fmt.Sprintf("%s.lt%d", e.name, BucketBound(i)), n})
-				}
-			}
+			s = append(s, e.histSamples(e.h.Count(), e.h.Sum(), e.h.Bucket)...)
+		case e.ah != nil:
+			s = append(s, e.histSamples(e.ah.Count(), e.ah.Sum(), e.ah.Bucket)...)
 		}
 	}
 	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })

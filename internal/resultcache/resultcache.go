@@ -30,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"prefetchsim/internal/obs"
 )
 
 // IndexSchema versions index.json; unknown schemas are ignored and the
@@ -49,6 +51,58 @@ type Store struct {
 	// Evictions counts objects removed by the size budget since Open —
 	// an observability hook for the server's status page.
 	evictions int64
+
+	// m, when set by Instrument, mirrors the store's state into
+	// exported metric instruments. nil means no metrics.
+	m *Metrics
+}
+
+// Metrics is the store's instrument pack. All instruments are atomic:
+// the store is concurrency-safe and its callers scrape mid-operation.
+type Metrics struct {
+	// Hits and Misses count Get outcomes (a key whose object file
+	// cannot be read counts as a miss and an open error).
+	Hits   obs.AtomicCounter
+	Misses obs.AtomicCounter
+	// Evictions counts objects removed by the size budget.
+	Evictions obs.AtomicCounter
+	// OpenErrors counts object files that existed in the entry table
+	// but could not be read back.
+	OpenErrors obs.AtomicCounter
+	// Objects and Bytes track the stored object count and summed size.
+	Objects obs.AtomicGauge
+	Bytes   obs.AtomicGauge
+}
+
+// Bind registers every instrument under prefix (e.g. "resultcache").
+func (m *Metrics) Bind(r *obs.Registry, prefix string) {
+	r.BindAtomicCounter(prefix+".hits", &m.Hits)
+	r.BindAtomicCounter(prefix+".misses", &m.Misses)
+	r.BindAtomicCounter(prefix+".evictions", &m.Evictions)
+	r.BindAtomicCounter(prefix+".open.errors", &m.OpenErrors)
+	r.BindAtomicGauge(prefix+".objects", &m.Objects)
+	r.BindAtomicGauge(prefix+".bytes", &m.Bytes)
+}
+
+// Instrument attaches m to the store: the object/byte gauges snap to
+// the current state (including what Open recovered from disk) and
+// every later Get/Put/eviction keeps them current. Call it once,
+// before the store sees traffic.
+func (s *Store) Instrument(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	m.Objects.Set(int64(len(s.entries)))
+	m.Bytes.Set(s.bytes)
+	m.Evictions.Add(s.evictions)
+}
+
+// syncSize mirrors the entry table into the gauges. Callers hold s.mu.
+func (s *Store) syncSize() {
+	if s.m != nil {
+		s.m.Objects.Set(int64(len(s.entries)))
+		s.m.Bytes.Set(s.bytes)
+	}
 }
 
 type entry struct {
@@ -194,14 +248,25 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if !ok {
+		if s.m != nil {
+			s.m.Misses.Inc()
+		}
 		return nil, false
 	}
 	data, err := os.ReadFile(s.objectPath(key))
 	if err != nil {
 		s.drop(e)
+		s.syncSize()
+		if s.m != nil {
+			s.m.OpenErrors.Inc()
+			s.m.Misses.Inc()
+		}
 		return nil, false
 	}
 	s.touch(e)
+	if s.m != nil {
+		s.m.Hits.Inc()
+	}
 	return data, true
 }
 
@@ -272,6 +337,7 @@ func (s *Store) Put(key string, data []byte) error {
 		s.touch(e)
 	}
 	s.evict(key)
+	s.syncSize()
 	return nil
 }
 
@@ -310,6 +376,9 @@ func (s *Store) evict(keep string) {
 		}
 		s.drop(victim)
 		s.evictions++
+		if s.m != nil {
+			s.m.Evictions.Inc()
+		}
 	}
 }
 

@@ -237,3 +237,83 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d, want 10", s.Len())
 	}
 }
+
+// TestMetricsMirrorStore: an instrumented store keeps its metric pack
+// exactly in step with the bookkeeping — hits/misses per Get outcome,
+// object/byte gauges after Put and eviction, open errors when an
+// object file vanishes underneath the entry table.
+func TestMetricsMirrorStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var m Metrics
+	s.Instrument(&m)
+
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if m.Misses.Value() != 1 || m.Hits.Value() != 0 {
+		t.Fatalf("after cold Get: hits=%d misses=%d, want 0/1", m.Hits.Value(), m.Misses.Value())
+	}
+
+	if err := s.Put(key(0), []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Objects.Value() != 1 || m.Bytes.Value() != 10 {
+		t.Fatalf("after Put: objects=%d bytes=%d, want 1/10", m.Objects.Value(), m.Bytes.Value())
+	}
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("stored object reported absent")
+	}
+	if m.Hits.Value() != 1 {
+		t.Fatalf("hits = %d, want 1", m.Hits.Value())
+	}
+
+	// Three 10-byte objects against a 30-byte budget: the fourth Put
+	// evicts the least recently used.
+	for i := 1; i < 4; i++ {
+		if err := s.Put(key(i), []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Evictions.Value() != 1 || m.Objects.Value() != 3 || m.Bytes.Value() != 30 {
+		t.Fatalf("after eviction: evictions=%d objects=%d bytes=%d, want 1/3/30",
+			m.Evictions.Value(), m.Objects.Value(), m.Bytes.Value())
+	}
+
+	// Remove an object file behind the store's back: the Get is a miss,
+	// an open error, and the gauges shrink with the dropped entry.
+	k := key(3)
+	if err := os.Remove(filepath.Join(dir, "objects", k[:2], k)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("vanished object reported present")
+	}
+	if m.OpenErrors.Value() != 1 {
+		t.Fatalf("open errors = %d, want 1", m.OpenErrors.Value())
+	}
+	if m.Objects.Value() != 2 || m.Bytes.Value() != 20 {
+		t.Fatalf("after vanish: objects=%d bytes=%d, want 2/20", m.Objects.Value(), m.Bytes.Value())
+	}
+
+	// A reopened, re-instrumented store restores the gauges (and the
+	// prior process's evictions are not replayed into the counter).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var m2 Metrics
+	s2.Instrument(&m2)
+	if m2.Objects.Value() != 2 || m2.Bytes.Value() != 20 || m2.Evictions.Value() != 0 {
+		t.Fatalf("reopened: objects=%d bytes=%d evictions=%d, want 2/20/0",
+			m2.Objects.Value(), m2.Bytes.Value(), m2.Evictions.Value())
+	}
+}

@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"time"
+
+	"prefetchsim/internal/obs"
+)
+
+// Metrics is the serving-path instrument pack for a job execution
+// pipeline built on this package: a queue of submitted jobs waiting
+// for an admission slot, at most N jobs computing at once, each
+// finishing as done or failed. prefetchd drives one Metrics for its
+// job service; the instruments are atomic, so request handlers and
+// job goroutines bump them without coordination.
+//
+// The wait and run histograms record microseconds. Their sums are the
+// reconciliation anchor for job lifecycle spans: a server that stamps
+// a job's queued→admitted wait MUST observe the same microsecond value
+// here and in its span aggregate, so the two views agree exactly (the
+// same discipline TestSpanStatsReconcile pins for simulator spans).
+type Metrics struct {
+	// QueueDepth is the number of jobs admitted to the service but not
+	// yet granted an execution slot.
+	QueueDepth obs.AtomicGauge
+	// InFlight is the number of jobs holding an execution slot.
+	InFlight obs.AtomicGauge
+	// Completed counts jobs that finished computing successfully;
+	// Failed counts errors and cancellations.
+	Completed obs.AtomicCounter
+	Failed    obs.AtomicCounter
+	// Wait is the queued→admitted latency per job, in microseconds.
+	Wait obs.AtomicHistogram
+	// Run is the admitted→finished latency per job, in microseconds.
+	Run obs.AtomicHistogram
+}
+
+// Bind registers every instrument under prefix (e.g. "runner") in r.
+func (m *Metrics) Bind(r *obs.Registry, prefix string) {
+	r.BindAtomicGauge(prefix+".queue.depth", &m.QueueDepth)
+	r.BindAtomicGauge(prefix+".inflight", &m.InFlight)
+	r.BindAtomicCounter(prefix+".completed", &m.Completed)
+	r.BindAtomicCounter(prefix+".failed", &m.Failed)
+	r.BindAtomicHistogram(prefix+".wait.us", &m.Wait)
+	r.BindAtomicHistogram(prefix+".run.us", &m.Run)
+}
+
+// Micros converts a wall-clock duration to the histograms' unit.
+func Micros(d time.Duration) int64 { return d.Microseconds() }
+
+// Enqueue records a job entering the admission queue.
+func (m *Metrics) Enqueue() {
+	if m != nil {
+		m.QueueDepth.Add(1)
+	}
+}
+
+// Admit records a job leaving the queue for an execution slot after
+// waiting wait; it returns the microsecond value it observed so the
+// caller can stamp the identical number into its span aggregate.
+func (m *Metrics) Admit(wait time.Duration) int64 {
+	us := Micros(wait)
+	if m != nil {
+		m.QueueDepth.Add(-1)
+		m.InFlight.Add(1)
+		m.Wait.Observe(us)
+	}
+	return us
+}
+
+// Abandon records a job leaving the queue without ever being admitted
+// (cancelled while waiting). It does not touch the latency histograms:
+// only admitted jobs have a wait, which is what keeps the histogram
+// sums reconcilable with the admitted-job span aggregates.
+func (m *Metrics) Abandon() {
+	if m != nil {
+		m.QueueDepth.Add(-1)
+	}
+}
+
+// Finish records an admitted job completing after run time spent in
+// its slot; ok distinguishes Completed from Failed. It returns the
+// microsecond value observed into the run histogram.
+func (m *Metrics) Finish(run time.Duration, ok bool) int64 {
+	us := Micros(run)
+	if m != nil {
+		m.InFlight.Add(-1)
+		m.Run.Observe(us)
+		if ok {
+			m.Completed.Inc()
+		} else {
+			m.Failed.Inc()
+		}
+	}
+	return us
+}

@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"prefetchsim/internal/obs"
+)
+
+// TestMetricsLifecycle walks jobs through enqueue→admit→finish and
+// abandon, checking the gauges return to zero and the histograms only
+// ever see admitted jobs — the invariant the job-span reconciliation
+// builds on.
+func TestMetricsLifecycle(t *testing.T) {
+	t.Parallel()
+	var m Metrics
+	reg := obs.NewRegistry()
+	m.Bind(reg, "runner")
+
+	m.Enqueue()
+	m.Enqueue()
+	m.Enqueue()
+	if d := m.QueueDepth.Value(); d != 3 {
+		t.Fatalf("queue depth = %d, want 3", d)
+	}
+
+	// One job is cancelled while queued: depth drops, no wait observed.
+	m.Abandon()
+	if n := m.Wait.Count(); n != 0 {
+		t.Fatalf("abandoned job observed a wait (%d)", n)
+	}
+
+	w1 := m.Admit(1500 * time.Microsecond)
+	w2 := m.Admit(0)
+	if w1 != 1500 || w2 != 0 {
+		t.Fatalf("Admit returned %d/%d, want 1500/0", w1, w2)
+	}
+	if d, f := m.QueueDepth.Value(), m.InFlight.Value(); d != 0 || f != 2 {
+		t.Fatalf("after admits: depth=%d inflight=%d, want 0/2", d, f)
+	}
+	if m.Wait.Sum() != w1+w2 || m.Wait.Count() != 2 {
+		t.Fatalf("wait hist sum=%d count=%d, want %d/2", m.Wait.Sum(), m.Wait.Count(), w1+w2)
+	}
+
+	r1 := m.Finish(2*time.Millisecond, true)
+	r2 := m.Finish(time.Millisecond, false)
+	if m.InFlight.Value() != 0 {
+		t.Fatalf("inflight = %d after finishes", m.InFlight.Value())
+	}
+	if m.Completed.Value() != 1 || m.Failed.Value() != 1 {
+		t.Fatalf("completed=%d failed=%d, want 1/1", m.Completed.Value(), m.Failed.Value())
+	}
+	if m.Run.Sum() != r1+r2 || m.Run.Count() != 2 {
+		t.Fatalf("run hist sum=%d count=%d, want %d/2", m.Run.Sum(), m.Run.Count(), r1+r2)
+	}
+
+	// All six instruments export through the registry under the prefix.
+	snap := snapMap(reg)
+	for _, name := range []string{
+		"runner.queue.depth", "runner.inflight", "runner.completed",
+		"runner.failed", "runner.wait.us.count", "runner.run.us.count",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %q (have %v)", name, snap)
+		}
+	}
+
+	// A nil Metrics is a no-op on every path (servers with metrics
+	// disabled share the same call sites).
+	var nm *Metrics
+	nm.Enqueue()
+	nm.Abandon()
+	if us := nm.Admit(time.Second); us != 1000000 {
+		t.Errorf("nil Admit returned %d", us)
+	}
+	nm.Finish(time.Second, true)
+}
+
+func snapMap(r *obs.Registry) map[string]int64 {
+	return r.Snapshot().Map()
+}

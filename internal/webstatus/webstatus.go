@@ -1,9 +1,12 @@
-// Package webstatus is the HTTP status/health surface shared by every
-// serving command: the read-only snapshot endpoint the long-running
-// CLIs (sweep, figure6, tables) expose behind their -http flag, and
-// the base cmd/prefetchd mounts its job routes on. The status handler
-// only reads a caller-supplied snapshot function, so the work being
-// observed never blocks on a slow client.
+// Package webstatus is the HTTP status/health/telemetry surface shared
+// by every serving command: the read-only snapshot endpoint the
+// long-running CLIs (sweep, figure6, tables) expose behind their -http
+// flag, and the base cmd/prefetchd mounts its job routes on. Beyond
+// /status and /healthz, a server can opt into a Prometheus /metrics
+// exposition of an obs.Registry, a /readyz readiness probe, and the
+// net/http/pprof profiling handlers. The status handler only reads a
+// caller-supplied snapshot function, so the work being observed never
+// blocks on a slow client.
 package webstatus
 
 import (
@@ -12,8 +15,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
+
+	"prefetchsim/internal/obs"
 )
 
 // Status is one live snapshot of a running sweep.
@@ -30,9 +36,27 @@ type Status struct {
 	Runs int `json:"runs"`
 	// Metrics is the current sweep-wide metric-total snapshot.
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// JobSpans aggregates job lifecycle spans per class (cmd/prefetchd
+	// keys it by cache disposition: hit, miss, coalesced).
+	JobSpans map[string]JobSpanAgg `json:"job_spans,omitempty"`
+	// Version and GitSHA identify the serving build (set them from the
+	// command's -version value and obs.RepoSHA()).
+	Version string `json:"version,omitempty"`
+	GitSHA  string `json:"git_sha,omitempty"`
 	// StartUnixNS and UptimeNS situate the snapshot in wall time.
 	StartUnixNS int64 `json:"start_unix_ns"`
 	UptimeNS    int64 `json:"uptime_ns"`
+}
+
+// JobSpanAgg sums one class of settled jobs' lifecycle spans. WaitUS
+// and RunUS carry the exact values the server's latency histograms
+// observed, so class sums reconcile with histogram sums; TotalUS is
+// the summed submit→done wall time.
+type JobSpanAgg struct {
+	Count   int64 `json:"count"`
+	WaitUS  int64 `json:"wait_us"`
+	RunUS   int64 `json:"run_us"`
+	TotalUS int64 `json:"total_us"`
 }
 
 // Progress is a tiny atomic (done, total, rows) tracker the CLIs bump
@@ -79,6 +103,34 @@ func Serve(addr string, fn func() Status) (*Server, error) {
 // handler also serves "/" unless register claimed a pattern that
 // shadows it.
 func ServeMux(addr string, fn func() Status, register func(mux *http.ServeMux)) (*Server, error) {
+	return ServeOpts(addr, fn, Options{Register: register})
+}
+
+// Options selects the optional surfaces of a status server.
+type Options struct {
+	// Register mounts extra routes on the server's mux before the
+	// listener starts (cmd/prefetchd adds its /jobs API).
+	Register func(mux *http.ServeMux)
+	// Metrics, when non-nil, serves the registry's Prometheus text
+	// exposition at /metrics.
+	Metrics *obs.Registry
+	// Ready, when non-nil, backs /readyz: 200 "ok" when ready, 503
+	// with the returned reason otherwise. A server is typically ready
+	// once its state is loaded and it is not draining. Without Ready,
+	// /readyz mirrors /healthz (always ok).
+	Ready func() (ok bool, reason string)
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Opt-in: profiling endpoints can stall the process (heap dumps,
+	// 30-second CPU captures) and belong behind an operator flag.
+	Pprof bool
+}
+
+// ServeOpts starts the status endpoint on addr with the given optional
+// surfaces. Routes: "/" and "/status" (JSON snapshot), "/healthz"
+// (liveness, always ok), "/readyz" (readiness via Options.Ready),
+// "/metrics" (Prometheus, when a registry is given), "/debug/pprof/*"
+// (when enabled), plus whatever Options.Register mounts.
+func ServeOpts(addr string, fn func() Status, o Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("webstatus: listen %s: %w", addr, err)
@@ -99,8 +151,30 @@ func ServeMux(addr string, fn func() Status, register func(mux *http.ServeMux)) 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	if register != nil {
-		register(mux)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if o.Ready != nil {
+			if ok, reason := o.Ready(); !ok {
+				http.Error(w, reason, http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if o.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			o.Metrics.WritePrometheus(w)
+		})
+	}
+	if o.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if o.Register != nil {
+		o.Register(mux)
 	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"prefetchsim/internal/obs"
 )
 
 func TestServeStatus(t *testing.T) {
@@ -219,5 +222,89 @@ func TestProgressConcurrent(t *testing.T) {
 	done, total, rows := prog.Snapshot()
 	if done != n || total != n || rows != n {
 		t.Fatalf("final snapshot = %d/%d/%d, want %d/%d/%d", done, total, rows, n, n, n)
+	}
+}
+
+// TestServeOptsTelemetry covers the opt-in surfaces: /metrics serves
+// the registry's Prometheus exposition with the right content type,
+// /readyz follows the Ready callback (503 + reason when not ready),
+// and the pprof index mounts only when asked for.
+func TestServeOptsTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.AtomicCounter("resultcache.hits").Add(3)
+	ready := false
+	srv, err := ServeOpts("127.0.0.1:0", func() Status {
+		return Status{Tool: "test", Version: "v1", GitSHA: "abc"}
+	}, Options{
+		Metrics: reg,
+		Ready:   func() (bool, string) { return ready, "index loading" },
+		Pprof:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, _ := get("/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "index loading") {
+		t.Fatalf("/readyz while not ready = %d %q, want 503 + reason", code, body)
+	}
+	ready = true
+	if code, body, _ := get("/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/readyz when ready = %d %q", code, body)
+	}
+
+	code, body, ct := get("/metrics")
+	if code != http.StatusOK || ct != obs.PromContentType {
+		t.Fatalf("/metrics = %d, content type %q", code, ct)
+	}
+	if !strings.Contains(body, "# TYPE resultcache_hits_total counter\nresultcache_hits_total 3\n") {
+		t.Fatalf("/metrics exposition missing counter:\n%s", body)
+	}
+
+	if code, _, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d with Pprof on", code)
+	}
+
+	// The status snapshot carries the build info fields through.
+	var st Status
+	_, body, _ = get("/status")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != "v1" || st.GitSHA != "abc" {
+		t.Fatalf("status build info = %q/%q", st.Version, st.GitSHA)
+	}
+
+	// Without opts, /readyz is ok and /metrics and pprof stay unmounted
+	// (the fallback handler answers "/" with the snapshot instead).
+	plain, err := Serve("127.0.0.1:0", func() Status { return Status{Tool: "plain"} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	getPlain := func(path string) (int, string) {
+		resp, err := http.Get("http://" + plain.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Content-Type")
+	}
+	if code, _ := getPlain("/readyz"); code != http.StatusOK {
+		t.Fatalf("plain /readyz = %d", code)
+	}
+	if _, ct := getPlain("/metrics"); ct != "application/json" {
+		t.Fatalf("plain /metrics content type %q, want the JSON fallback", ct)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"prefetchsim/internal/obs"
@@ -83,18 +82,10 @@ func DigestRows(rows []string) string { return obs.DigestStrings(rows) }
 
 func goVersion() string { return runtime.Version() }
 
-// gitSHA memoizes the repository revision: it is immutable for the
-// life of the process, and sweeps record one manifest per run, so the
-// .git walk must not repeat per row.
-var gitSHAOnce = struct {
-	sync.Once
-	v string
-}{}
-
-func gitSHA() string {
-	gitSHAOnce.Do(func() { gitSHAOnce.v = obs.GitSHA(".") })
-	return gitSHAOnce.v
-}
+// gitSHA is the repository revision, memoized process-wide by obs
+// (sweeps record one manifest per run, so the .git walk must not
+// repeat per row; prefetchd's build info shares the same memo).
+func gitSHA() string { return obs.RepoSHA() }
 
 // ReadManifestFile loads a run manifest written by Manifest.WriteFile,
 // rejecting unknown schema versions.

@@ -5,15 +5,18 @@
 # small Figure-6 job twice, and assert the contract the result cache
 # promises:
 #
+#   - the server reports ready on /readyz before any traffic is sent,
 #   - the first submission computes (done line says cache "miss"),
 #   - the second is served from the cache (done line says "hit"),
 #   - the row lines of both NDJSON transcripts are byte-identical,
 #   - the hit is at least 10x faster than the miss (server-side
 #     wall_ns, so client startup noise doesn't count),
+#   - a /metrics scrape after the hit shows the resultcache hit counter
+#     incremented and the runner queue drained back to zero,
 #   - SIGTERM drains gracefully and persists the cache index.
 #
-# Both transcripts land in the artifact directory for offline
-# inspection (CI uploads them).
+# Both transcripts and the Prometheus scrape land in the artifact
+# directory for offline inspection (CI uploads them).
 #
 # Usage: scripts/prefetchd_smoke.sh [artifact-dir]
 set -euo pipefail
@@ -51,12 +54,25 @@ done
 [[ -n "$addr" ]] || die "prefetchd never reported its address"
 ctl() { "$work/prefetchctl" -addr "$addr" "$@"; }
 
-for _ in $(seq 1 50); do
-  ctl status >/dev/null 2>&1 && break
+# Readiness: poll /readyz with a deadline instead of a fixed sleep, so
+# the script waits exactly as long as the server needs — and when it
+# never comes up, fail loudly with the server log attached.
+ready=""
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then ready=1; break; fi
+  kill -0 "$server_pid" 2>/dev/null || break
   sleep 0.1
 done
-ctl status >/dev/null || die "server not answering /status"
-echo "   serving on $addr"
+if [[ -z "$ready" ]]; then
+  echo "---- prefetchd log ----" >&2
+  cat "$art/prefetchd.log" >&2
+  die "server never became ready on /readyz"
+fi
+echo "   serving on $addr (ready)"
+
+echo "== build info"
+"$work/prefetchd" -version | grep -q '^prefetchd ' || die "-version output malformed"
+ctl status | grep -q '"version"' || die "/status lacks the version field"
 
 job=(submit -figure6 -apps lu -schemes Seq -procs 4 -stream)
 done_field() { # file field
@@ -80,6 +96,21 @@ grep '"type":"row"' "$art/run1.ndjson" >"$work/rows1"
 grep '"type":"row"' "$art/run2.ndjson" >"$work/rows2"
 [[ -s "$work/rows1" ]] || die "first transcript has no row lines"
 cmp "$work/rows1" "$work/rows2" || die "cached rows differ from the computed rows"
+
+echo "== metrics scrape after the cached submission"
+if ! curl -fsS "http://$addr/metrics" >"$art/metrics.prom"; then
+  echo "---- prefetchd log ----" >&2
+  cat "$art/prefetchd.log" >&2
+  die "/metrics scrape failed"
+fi
+grep -q '^resultcache_hits_total 1$' "$art/metrics.prom" \
+  || die "resultcache_hits_total != 1: $(grep '^resultcache_' "$art/metrics.prom" | tr '\n' ' ')"
+grep -q '^jobs_cache_hits_total 1$' "$art/metrics.prom" \
+  || die "jobs_cache_hits_total != 1"
+grep -q '^runner_queue_depth 0$' "$art/metrics.prom" \
+  || die "runner queue depth not back to zero after the jobs settled"
+grep -q '^# TYPE runner_run_us histogram$' "$art/metrics.prom" \
+  || die "runner run-latency histogram missing from the exposition"
 
 echo "== hit must be >=10x faster (miss ${wall1}ns vs hit ${wall2}ns)"
 [[ -n "$wall1" && -n "$wall2" && "$wall2" -gt 0 ]] || die "missing wall_ns in done lines"
